@@ -1,0 +1,31 @@
+//! # dimmer-baselines — the comparison points of the paper's evaluation
+//!
+//! Three baselines appear in the evaluation (§V):
+//!
+//! * **static LWB** — plain LWB with a fixed `N_TX = 3` and a single channel
+//!   ([`StaticLwbRunner`]); the non-adaptive reference that collapses to
+//!   ~27 % reliability under strong WiFi interference,
+//! * **a tuned PI(D) controller** — the traditional closed-loop alternative
+//!   to the DQN, with `K_P = 1`, `K_I = 0.25`, tuned for reliability first
+//!   ([`PidController`], [`PidRunner`]); it adapts but overshoots and cannot
+//!   quantify interference strength,
+//! * **Crystal** — the state-of-the-art dependable ST protocol for aperiodic
+//!   collection (Istomin et al., IPSN 2018), built on
+//!   transmission–acknowledgement pairs, channel hopping and noise detection
+//!   ([`CrystalConfig`], [`CrystalRunner`]); hand-tuned, near-perfect
+//!   reliability at a high energy cost.
+//!
+//! The static-LWB and PID baselines reuse the [`dimmer_core::DimmerRunner`]
+//! machinery with the learned adaptivity disabled, so the three systems are
+//! compared on exactly the same substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crystal;
+pub mod pid;
+pub mod static_lwb;
+
+pub use crystal::{CrystalConfig, CrystalEpochReport, CrystalRunner};
+pub use pid::{PidController, PidRunner};
+pub use static_lwb::StaticLwbRunner;

@@ -1,0 +1,134 @@
+//! The non-adaptive LWB baseline: fixed `N_TX = 3`, single channel,
+//! best-effort.
+
+use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRoundReport, DimmerRunner, ForwarderConfig};
+use dimmer_lwb::{LwbConfig, TrafficPattern};
+use dimmer_sim::{InterferenceModel, Topology};
+
+/// Plain LWB with a static retransmission parameter (the paper uses
+/// `N_TX = 3`) and no adaptation whatsoever.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_baselines::StaticLwbRunner;
+/// use dimmer_lwb::LwbConfig;
+/// use dimmer_sim::{Topology, NoInterference};
+/// let topo = Topology::kiel_testbed_18(1);
+/// let mut lwb = StaticLwbRunner::new(&topo, &NoInterference, LwbConfig::testbed_default(), 3, 1);
+/// let report = lwb.run_round();
+/// assert_eq!(report.ntx, 3);
+/// ```
+#[derive(Debug)]
+pub struct StaticLwbRunner<'a> {
+    runner: DimmerRunner<'a>,
+    ntx: u8,
+}
+
+impl<'a> StaticLwbRunner<'a> {
+    /// Creates a static-LWB runner with the given fixed `N_TX`.
+    pub fn new(
+        topology: &'a Topology,
+        interference: &'a dyn InterferenceModel,
+        lwb_config: LwbConfig,
+        ntx: u8,
+        seed: u64,
+    ) -> Self {
+        let config = DimmerConfig {
+            adaptivity_enabled: false,
+            initial_ntx: ntx,
+            forwarder: ForwarderConfig { enabled: false, ..Default::default() },
+            ..DimmerConfig::default()
+        };
+        let runner = DimmerRunner::new(
+            topology,
+            interference,
+            lwb_config,
+            config,
+            AdaptivityPolicy::rule_based(),
+            seed,
+        );
+        StaticLwbRunner { runner, ntx }
+    }
+
+    /// Replaces the traffic pattern.
+    pub fn with_traffic(mut self, traffic: TrafficPattern) -> Self {
+        self.runner = self.runner.with_traffic(traffic);
+        self
+    }
+
+    /// The fixed `N_TX` used by this baseline.
+    pub fn ntx(&self) -> u8 {
+        self.ntx
+    }
+
+    /// Total energy spent so far, in Joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.runner.total_energy_joules()
+    }
+
+    /// End-to-end application reliability so far.
+    pub fn app_reliability(&self) -> f64 {
+        self.runner.app_reliability()
+    }
+
+    /// Runs one round with the fixed `N_TX`.
+    pub fn run_round(&mut self) -> DimmerRoundReport {
+        // Re-apply the fixed value defensively in case callers poked at it.
+        self.runner.force_ntx(self.ntx);
+        self.runner.run_round()
+    }
+
+    /// Runs `count` rounds.
+    pub fn run_rounds(&mut self, count: usize) -> Vec<DimmerRoundReport> {
+        (0..count).map(|_| self.run_round()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmer_sim::{NoInterference, PeriodicJammer};
+
+    #[test]
+    fn ntx_never_changes() {
+        let topo = Topology::kiel_testbed_18(1);
+        let mut interference = dimmer_sim::CompositeInterference::new();
+        for j in PeriodicJammer::kiel_pair(0.30) {
+            interference.push(Box::new(j));
+        }
+        let mut lwb =
+            StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, 2);
+        for report in lwb.run_rounds(8) {
+            assert_eq!(report.ntx, 3);
+        }
+        assert_eq!(lwb.ntx(), 3);
+    }
+
+    #[test]
+    fn calm_static_lwb_is_reliable_and_cheap() {
+        let topo = Topology::kiel_testbed_18(2);
+        let mut lwb = StaticLwbRunner::new(&topo, &NoInterference, LwbConfig::testbed_default(), 3, 3);
+        let reports = lwb.run_rounds(10);
+        let avg_rel: f64 = reports.iter().map(|r| r.reliability).sum::<f64>() / 10.0;
+        let avg_on: f64 = reports.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / 10.0;
+        assert!(avg_rel > 0.99, "calm LWB should be highly reliable, got {avg_rel}");
+        assert!(avg_on < 14.0, "calm LWB radio-on should be well below the 20 ms budget, got {avg_on}");
+    }
+
+    #[test]
+    fn static_lwb_degrades_under_jamming() {
+        let topo = Topology::kiel_testbed_18(2);
+        let mut interference = dimmer_sim::CompositeInterference::new();
+        for j in PeriodicJammer::kiel_pair(0.35) {
+            interference.push(Box::new(j));
+        }
+        let mut calm = StaticLwbRunner::new(&topo, &NoInterference, LwbConfig::testbed_default(), 3, 5);
+        let mut jammed = StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, 5);
+        let calm_rel: f64 =
+            calm.run_rounds(8).iter().map(|r| r.reliability).sum::<f64>() / 8.0;
+        let jam_rel: f64 =
+            jammed.run_rounds(8).iter().map(|r| r.reliability).sum::<f64>() / 8.0;
+        assert!(jam_rel < calm_rel - 0.05, "jamming must visibly hurt LWB ({calm_rel} vs {jam_rel})");
+    }
+}

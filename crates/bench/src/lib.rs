@@ -1,0 +1,26 @@
+//! # dimmer-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see `DESIGN.md` and
+//! `EXPERIMENTS.md` at the repository root):
+//!
+//! | Binary        | Reproduces                                            |
+//! |---------------|--------------------------------------------------------|
+//! | `exp_table1`  | Table I + the embedded-DQN footprint numbers (§IV-B)   |
+//! | `exp_fig4b`   | Fig. 4b — input-feature selection (K and history sweep) |
+//! | `exp_fig4c`   | Fig. 4c/4d — adaptivity against dynamic interference    |
+//! | `exp_fig5`    | Fig. 5a/5b — reliability & radio-on vs interference     |
+//! | `exp_fig6`    | Fig. 6 — forwarder selection with multi-armed bandits   |
+//! | `exp_fig7`    | Fig. 7 — 48-node D-Cube comparison vs LWB and Crystal   |
+//!
+//! The library part of the crate collects the scenario builders and runner
+//! helpers shared by the binaries, plus the Criterion micro-benchmarks in
+//! `benches/micro.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+
+pub use scenarios::{
+    dimmer_policy, dynamic_interference_scenario, kiel_jamming, summarize, ProtocolSummary,
+};

@@ -1,0 +1,151 @@
+//! Shared scenario builders and aggregation helpers for the experiment
+//! binaries.
+
+use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRoundReport};
+use dimmer_rl::DqnConfig;
+use dimmer_sim::{
+    CompositeInterference, PeriodicJammer, ScheduledInterference, SimTime, Topology,
+};
+use dimmer_traces::{train_policy, TraceCollector};
+
+/// The two-jammer 802.15.4 interference used on the 18-node testbed, at the
+/// given duty cycle (0 disables jamming and returns an empty composite).
+pub fn kiel_jamming(duty_cycle: f64) -> CompositeInterference {
+    let mut comp = CompositeInterference::new();
+    if duty_cycle > 0.0 {
+        for j in PeriodicJammer::kiel_pair(duty_cycle) {
+            comp.push(Box::new(j));
+        }
+    }
+    comp
+}
+
+/// The Fig. 4c dynamic-interference scenario: 7 min calm, 5 min of 30 %
+/// jamming, 5 min calm, 5 min of 5 % jamming, then calm until `total_secs`.
+pub fn dynamic_interference_scenario(total_secs: u64) -> ScheduledInterference {
+    let mut schedule = ScheduledInterference::new();
+    let m = |min: u64| SimTime::from_secs(min * 60);
+    for j in PeriodicJammer::kiel_pair(0.30) {
+        schedule.add_window(m(7), m(12), Box::new(j));
+    }
+    for j in PeriodicJammer::kiel_pair(0.05) {
+        schedule.add_window(m(17), m(22), Box::new(j));
+    }
+    // Keep the schedule covering the whole experiment even if total_secs is
+    // longer than the scripted 27 minutes (remaining time is calm).
+    let _ = total_secs;
+    schedule
+}
+
+/// Obtains the Dimmer adaptivity policy used by the experiments: the
+/// pre-trained network shipped with `dimmer-core` when available, otherwise a
+/// freshly trained one (reduced iteration count so the harness stays fast).
+pub fn dimmer_policy(quick: bool) -> AdaptivityPolicy {
+    if dimmer_core::pretrained::has_pretrained_weights() {
+        return dimmer_core::pretrained::pretrained_policy();
+    }
+    let topo = Topology::kiel_testbed_18(42);
+    let traces = TraceCollector::new(&topo, 42).collect(if quick { 60 } else { 220 });
+    let dqn = if quick {
+        DqnConfig::quick().with_iterations(8_000)
+    } else {
+        DqnConfig::paper_default().with_iterations(60_000)
+    };
+    let report = train_policy(&traces, &DimmerConfig::default(), &dqn, 42);
+    report.quantized_policy()
+}
+
+/// Aggregate statistics of a sequence of per-round reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSummary {
+    /// Mean per-round reliability.
+    pub reliability: f64,
+    /// Mean per-slot radio-on time, in milliseconds.
+    pub radio_on_ms: f64,
+    /// Mean `N_TX` over the run.
+    pub mean_ntx: f64,
+    /// Number of rounds aggregated.
+    pub rounds: usize,
+}
+
+/// Summarizes a run.
+pub fn summarize(reports: &[DimmerRoundReport]) -> ProtocolSummary {
+    if reports.is_empty() {
+        return ProtocolSummary { reliability: 1.0, radio_on_ms: 0.0, mean_ntx: 0.0, rounds: 0 };
+    }
+    let n = reports.len() as f64;
+    ProtocolSummary {
+        reliability: reports.iter().map(|r| r.reliability).sum::<f64>() / n,
+        radio_on_ms: reports.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / n,
+        mean_ntx: reports.iter().map(|r| r.ntx as f64).sum::<f64>() / n,
+        rounds: reports.len(),
+    }
+}
+
+/// Returns `true` if `--quick` was passed on the command line (all experiment
+/// binaries support it to cut run times by roughly an order of magnitude).
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Returns the value following a `--flag` argument, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmer_core::RoundMode;
+    use dimmer_sim::{Channel, InterferenceModel, Position, SimDuration};
+
+    #[test]
+    fn kiel_jamming_zero_is_empty() {
+        assert!(kiel_jamming(0.0).is_empty());
+        assert_eq!(kiel_jamming(0.3).len(), 2);
+    }
+
+    #[test]
+    fn dynamic_scenario_has_two_interference_phases() {
+        let s = dynamic_interference_scenario(27 * 60);
+        assert_eq!(s.len(), 4);
+        let probe = |secs: u64| {
+            s.busy_fraction(
+                SimTime::from_secs(secs),
+                1_000_000,
+                Channel::CONTROL,
+                Position::new(5.0, 9.0),
+            )
+        };
+        assert!(probe(60) < 0.01, "minute 1 is calm");
+        assert!(probe(9 * 60) > 0.2, "minute 9 sits in the 30% phase");
+        assert!(probe(14 * 60) < 0.01, "minute 14 is calm again");
+        let light = probe(19 * 60);
+        assert!(light > 0.01 && light < 0.15, "minute 19 sits in the 5% phase, got {light}");
+    }
+
+    #[test]
+    fn summarize_averages_reports() {
+        let make = |rel: f64, ntx: u8| DimmerRoundReport {
+            round_index: 0,
+            time: SimTime::ZERO,
+            mode: RoundMode::Adaptivity,
+            ntx,
+            reliability: rel,
+            mean_radio_on: SimDuration::from_millis(10),
+            losses: 0,
+            reward: 1.0,
+            active_forwarders: 18,
+            energy_joules: 1.0,
+            packets_generated: 18,
+            packets_delivered: 18,
+        };
+        let s = summarize(&[make(1.0, 3), make(0.5, 5)]);
+        assert!((s.reliability - 0.75).abs() < 1e-9);
+        assert!((s.mean_ntx - 4.0).abs() < 1e-9);
+        assert_eq!(s.rounds, 2);
+        assert!((s.radio_on_ms - 10.0).abs() < 1e-9);
+        assert_eq!(summarize(&[]).rounds, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The action space of the central adaptivity problem.
+//!
+//! Dimmer deliberately restricts the DQN to *incremental* updates
+//! (decrease / maintain / increase) instead of one action per `N_TX` value:
+//! the smaller action space keeps the embedded network tiny and, according to
+//! the paper, generalizes better to unseen interference (§IV-B "Limiting the
+//! action space"). The trade-off is that moving from, say, `N_TX = 1` to 4
+//! takes three rounds.
+
+/// One adaptivity decision taken by the coordinator at the end of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdaptivityAction {
+    /// Decrease the global `N_TX` by one (bounded below by `n_min`).
+    Decrease,
+    /// Keep the current `N_TX`.
+    Maintain,
+    /// Increase the global `N_TX` by one (bounded above by `n_max`).
+    Increase,
+}
+
+impl AdaptivityAction {
+    /// Number of actions (the DQN's output size).
+    pub const COUNT: usize = 3;
+
+    /// All actions, in the index order used by the DQN output layer.
+    pub const ALL: [AdaptivityAction; 3] =
+        [AdaptivityAction::Decrease, AdaptivityAction::Maintain, AdaptivityAction::Increase];
+
+    /// The action encoded by a DQN output index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// The DQN output index of this action.
+    pub fn index(self) -> usize {
+        match self {
+            AdaptivityAction::Decrease => 0,
+            AdaptivityAction::Maintain => 1,
+            AdaptivityAction::Increase => 2,
+        }
+    }
+
+    /// Applies the action to an `N_TX` value, clamping to `[n_min, n_max]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dimmer_core::AdaptivityAction;
+    /// assert_eq!(AdaptivityAction::Increase.apply(3, 1, 8), 4);
+    /// assert_eq!(AdaptivityAction::Increase.apply(8, 1, 8), 8);
+    /// assert_eq!(AdaptivityAction::Decrease.apply(1, 1, 8), 1);
+    /// assert_eq!(AdaptivityAction::Maintain.apply(5, 1, 8), 5);
+    /// ```
+    pub fn apply(self, ntx: u8, n_min: u8, n_max: u8) -> u8 {
+        let next = match self {
+            AdaptivityAction::Decrease => ntx.saturating_sub(1),
+            AdaptivityAction::Maintain => ntx,
+            AdaptivityAction::Increase => ntx.saturating_add(1),
+        };
+        next.clamp(n_min, n_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, a) in AdaptivityAction::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(AdaptivityAction::from_index(i), *a);
+        }
+    }
+
+    #[test]
+    fn apply_moves_by_one_step() {
+        assert_eq!(AdaptivityAction::Increase.apply(3, 1, 8), 4);
+        assert_eq!(AdaptivityAction::Decrease.apply(3, 1, 8), 2);
+        assert_eq!(AdaptivityAction::Maintain.apply(3, 1, 8), 3);
+    }
+
+    #[test]
+    fn apply_respects_bounds() {
+        assert_eq!(AdaptivityAction::Increase.apply(8, 1, 8), 8);
+        assert_eq!(AdaptivityAction::Decrease.apply(1, 1, 8), 1);
+        assert_eq!(AdaptivityAction::Decrease.apply(0, 0, 8), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_rejects_out_of_range() {
+        AdaptivityAction::from_index(3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apply_stays_in_range(ntx in 1u8..=8, idx in 0usize..3) {
+            let a = AdaptivityAction::from_index(idx);
+            let next = a.apply(ntx, 1, 8);
+            prop_assert!((1..=8).contains(&next));
+            prop_assert!((next as i16 - ntx as i16).abs() <= 1);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Dimmer protocol configuration.
+
+use dimmer_glossy::config::N_TX_MAX;
+
+/// Configuration of the distributed forwarder selection (§IV-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwarderConfig {
+    /// Whether forwarder selection runs at all in interference-free periods.
+    pub enabled: bool,
+    /// Exp3 exploration factor γ.
+    pub gamma: f64,
+    /// Consecutive rounds each learner gets before the token moves on
+    /// (paper: 10).
+    pub rounds_per_learner: usize,
+    /// Number of consecutive loss-free rounds required before the
+    /// coordinator hands control to the forwarder selection.
+    pub calm_rounds_threshold: usize,
+}
+
+impl Default for ForwarderConfig {
+    fn default() -> Self {
+        ForwarderConfig {
+            enabled: true,
+            gamma: 0.1,
+            rounds_per_learner: 10,
+            calm_rounds_threshold: 5,
+        }
+    }
+}
+
+/// Configuration of the Dimmer protocol.
+///
+/// The defaults are the parameters used throughout the paper's evaluation:
+/// `K = 10` lowest-reliability nodes and `M = 2` history bits as DQN input
+/// (Table I), `N_max = 8`, reward constant `C = 0.3`, initial `N_TX = 3`.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_core::DimmerConfig;
+/// let cfg = DimmerConfig::default();
+/// assert_eq!(cfg.k_input_nodes, 10);
+/// assert_eq!(cfg.history_size, 2);
+/// assert_eq!(cfg.state_dim(), 31);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimmerConfig {
+    /// Number of lowest-reliability nodes whose feedback feeds the DQN (K).
+    pub k_input_nodes: usize,
+    /// Number of historical loss indicators in the DQN input (M).
+    pub history_size: usize,
+    /// Maximum retransmission parameter (`N_max`).
+    pub n_max: u8,
+    /// Minimum retransmission parameter the adaptivity may select.
+    pub n_min: u8,
+    /// Reward trade-off constant `C` in Eq. 3.
+    pub reward_c: f64,
+    /// `N_TX` applied before the first adaptation decision.
+    pub initial_ntx: u8,
+    /// Whether the central DQN adaptivity is active.
+    pub adaptivity_enabled: bool,
+    /// Application-layer acknowledgements (used for the D-Cube collection
+    /// scenario): an undelivered packet is retransmitted in later rounds.
+    pub acknowledgements: bool,
+    /// Maximum number of retransmission attempts per packet when
+    /// acknowledgements are enabled.
+    pub max_ack_retries: usize,
+    /// Distributed forwarder-selection parameters.
+    pub forwarder: ForwarderConfig,
+}
+
+impl DimmerConfig {
+    /// Dimensionality of the DQN input vector: `2K + (N_max + 1) + M`
+    /// (Table I; 31 for the defaults).
+    pub fn state_dim(&self) -> usize {
+        2 * self.k_input_nodes + (self.n_max as usize + 1) + self.history_size
+    }
+
+    /// Configuration used on the D-Cube deployment (§V-E): adaptivity with
+    /// channel hopping and application-layer ACKs, forwarder selection off
+    /// (the scenario is never calm enough).
+    pub fn dcube() -> Self {
+        DimmerConfig {
+            acknowledgements: true,
+            forwarder: ForwarderConfig { enabled: false, ..ForwarderConfig::default() },
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the number of input nodes K (used by the Fig. 4b(i) sweep).
+    pub fn with_k_input_nodes(mut self, k: usize) -> Self {
+        self.k_input_nodes = k;
+        self
+    }
+
+    /// Overrides the history size M (used by the Fig. 4b(ii) sweep).
+    pub fn with_history_size(mut self, m: usize) -> Self {
+        self.history_size = m;
+        self
+    }
+
+    /// Disables the central adaptivity (used for the Fig. 6 forwarder-only
+    /// experiment).
+    pub fn without_adaptivity(mut self) -> Self {
+        self.adaptivity_enabled = false;
+        self
+    }
+}
+
+impl Default for DimmerConfig {
+    fn default() -> Self {
+        DimmerConfig {
+            k_input_nodes: 10,
+            history_size: 2,
+            n_max: N_TX_MAX,
+            n_min: 1,
+            reward_c: 0.3,
+            initial_ntx: 3,
+            adaptivity_enabled: true,
+            acknowledgements: false,
+            max_ack_retries: 3,
+            forwarder: ForwarderConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_dim_is_31_as_in_table_1() {
+        assert_eq!(DimmerConfig::default().state_dim(), 31);
+    }
+
+    #[test]
+    fn state_dim_tracks_k_and_m() {
+        let cfg = DimmerConfig::default().with_k_input_nodes(18).with_history_size(0);
+        assert_eq!(cfg.state_dim(), 2 * 18 + 9);
+        let cfg = DimmerConfig::default().with_k_input_nodes(1).with_history_size(5);
+        assert_eq!(cfg.state_dim(), 2 + 9 + 5);
+    }
+
+    #[test]
+    fn dcube_config_enables_acks_and_disables_forwarder_selection() {
+        let cfg = DimmerConfig::dcube();
+        assert!(cfg.acknowledgements);
+        assert!(!cfg.forwarder.enabled);
+        assert!(cfg.adaptivity_enabled);
+    }
+
+    #[test]
+    fn without_adaptivity_turns_the_dqn_off() {
+        assert!(!DimmerConfig::default().without_adaptivity().adaptivity_enabled);
+    }
+
+    #[test]
+    fn forwarder_defaults_match_paper() {
+        let f = ForwarderConfig::default();
+        assert_eq!(f.rounds_per_learner, 10);
+        assert!(f.enabled);
+    }
+}

@@ -1,0 +1,130 @@
+//! The 2-byte Dimmer feedback header.
+//!
+//! During its data slot, a source appends two performance metrics to its
+//! payload: its radio-on time averaged over the last floods and its
+//! reliability (packet reception rate), each encoded in one byte (§III-A,
+//! §IV-D). Every receiver records the feedback of distant devices, which is
+//! how the coordinator builds its global view without extra transmissions.
+
+use dimmer_sim::SimDuration;
+
+/// The per-node performance feedback carried in the 2-byte Dimmer header.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_core::FeedbackHeader;
+/// use dimmer_sim::SimDuration;
+/// let fb = FeedbackHeader::new(0.973, SimDuration::from_millis_f64(12.3));
+/// let bytes = fb.encode();
+/// let decoded = FeedbackHeader::decode(bytes);
+/// assert!((decoded.reliability() - 0.973).abs() < 0.01);
+/// assert!((decoded.radio_on().as_millis_f64() - 12.3).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackHeader {
+    reliability: f64,
+    radio_on: SimDuration,
+}
+
+impl FeedbackHeader {
+    /// The radio-on time that maps to the all-ones encoding (one full 20 ms
+    /// slot).
+    pub const MAX_RADIO_ON: SimDuration = SimDuration::from_millis(20);
+
+    /// Creates a header from a reliability in `[0, 1]` and a radio-on time
+    /// (clamped to [`FeedbackHeader::MAX_RADIO_ON`]).
+    pub fn new(reliability: f64, radio_on: SimDuration) -> Self {
+        FeedbackHeader {
+            reliability: reliability.clamp(0.0, 1.0),
+            radio_on: radio_on.min(Self::MAX_RADIO_ON),
+        }
+    }
+
+    /// The pessimistic placeholder used when a node's feedback is missing:
+    /// 0 % reliability, 100 % radio-on time (§IV-D "Global view").
+    pub fn pessimistic() -> Self {
+        FeedbackHeader { reliability: 0.0, radio_on: Self::MAX_RADIO_ON }
+    }
+
+    /// The node's packet reception rate, in `[0, 1]`.
+    pub fn reliability(&self) -> f64 {
+        self.reliability
+    }
+
+    /// The node's average radio-on time per slot.
+    pub fn radio_on(&self) -> SimDuration {
+        self.radio_on
+    }
+
+    /// Encodes the header into the on-air 2-byte representation:
+    /// byte 0 = reliability in 1/255 steps, byte 1 = radio-on time in
+    /// 1/255 steps of the 20 ms slot.
+    pub fn encode(&self) -> [u8; 2] {
+        let rel = (self.reliability * 255.0).round() as u8;
+        let on = (self.radio_on.as_micros() as f64 / Self::MAX_RADIO_ON.as_micros() as f64 * 255.0)
+            .round()
+            .min(255.0) as u8;
+        [rel, on]
+    }
+
+    /// Decodes a header from its 2-byte representation.
+    pub fn decode(bytes: [u8; 2]) -> Self {
+        let reliability = bytes[0] as f64 / 255.0;
+        let radio_on = SimDuration::from_micros(
+            (bytes[1] as u64 * Self::MAX_RADIO_ON.as_micros()) / 255,
+        );
+        FeedbackHeader { reliability, radio_on }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn header_is_exactly_two_bytes() {
+        let fb = FeedbackHeader::new(0.5, SimDuration::from_millis(10));
+        assert_eq!(fb.encode().len(), 2);
+    }
+
+    #[test]
+    fn pessimistic_defaults_match_paper() {
+        let p = FeedbackHeader::pessimistic();
+        assert_eq!(p.reliability(), 0.0);
+        assert_eq!(p.radio_on(), SimDuration::from_millis(20));
+        assert_eq!(p.encode(), [0, 255]);
+    }
+
+    #[test]
+    fn values_are_clamped() {
+        let fb = FeedbackHeader::new(1.7, SimDuration::from_millis(50));
+        assert_eq!(fb.reliability(), 1.0);
+        assert_eq!(fb.radio_on(), FeedbackHeader::MAX_RADIO_ON);
+    }
+
+    #[test]
+    fn perfect_node_encodes_to_extremes() {
+        let fb = FeedbackHeader::new(1.0, SimDuration::ZERO);
+        assert_eq!(fb.encode(), [255, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_error_is_below_quantization_step(rel in 0.0f64..=1.0, on_us in 0u64..=20_000) {
+            let fb = FeedbackHeader::new(rel, SimDuration::from_micros(on_us));
+            let back = FeedbackHeader::decode(fb.encode());
+            prop_assert!((back.reliability() - rel).abs() <= 1.0 / 255.0 + 1e-9);
+            let err_us = (back.radio_on().as_micros() as i64 - on_us as i64).abs();
+            prop_assert!(err_us <= 20_000 / 255 + 1);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(a in 0u8..=255, b in 0u8..=255) {
+            let fb = FeedbackHeader::decode([a, b]);
+            prop_assert!((0.0..=1.0).contains(&fb.reliability()));
+            prop_assert!(fb.radio_on() <= FeedbackHeader::MAX_RADIO_ON);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Distributed forwarder selection with adversarial multi-armed bandits
+//! (§IV-C).
+//!
+//! In interference-free periods the coordinator hands control to the
+//! devices: one device at a time (in a pseudo-random order) gets
+//! `rounds_per_learner` consecutive rounds to experiment with a two-armed
+//! Exp3 bandit — arm 0 = *active forwarder*, arm 1 = *passive receiver*
+//! (`N_TX = 0`). Stability is protected by three mechanisms from the paper:
+//!
+//! 1. learning is sequential (one learner at a time keeps the environment
+//!    quasi-stationary for that learner),
+//! 2. network-breaking configurations are punished by resetting the passive
+//!    arm's weight (so the bad configuration is unlikely to be re-entered),
+//! 3. the learning order is pseudo-random, spreading early passive decisions
+//!    geographically instead of clustering them.
+
+use crate::config::ForwarderConfig;
+use dimmer_glossy::NtxAssignment;
+use dimmer_rl::Exp3;
+use dimmer_sim::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The role a device currently plays in the dissemination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The device relays floods with the global `N_TX`.
+    Forwarder,
+    /// The device only receives (its `N_TX` is 0) to save energy.
+    Passive,
+}
+
+/// Index of the "active forwarder" arm in each device's bandit (arm 0).
+#[allow(dead_code)]
+const ARM_FORWARDER: usize = 0;
+/// Index of the "passive receiver" arm in each device's bandit.
+const ARM_PASSIVE: usize = 1;
+
+/// The state of the distributed forwarder-selection scheme across the
+/// network (one Exp3 instance per device, plus the sequential-learning
+/// token).
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_core::{ForwarderSelection, ForwarderConfig};
+/// use dimmer_sim::NodeId;
+/// let cfg = ForwarderConfig::default();
+/// let mut fs = ForwarderSelection::new(18, NodeId(0), cfg, 7);
+/// assert_eq!(fs.active_forwarders(), 18);
+/// fs.begin_round();
+/// fs.end_round(false); // a loss-free round rewards the tried arm
+/// ```
+#[derive(Debug, Clone)]
+pub struct ForwarderSelection {
+    config: ForwarderConfig,
+    coordinator: NodeId,
+    bandits: Vec<Exp3>,
+    roles: Vec<Role>,
+    learning_order: Vec<usize>,
+    order_position: usize,
+    rounds_with_current: usize,
+    /// The arm the current learner is trying this round, with its selection
+    /// probability (needed for the Exp3 update).
+    current_trial: Option<(usize, f64)>,
+    rng: StdRng,
+}
+
+impl ForwarderSelection {
+    /// Creates the selection state for `num_nodes` devices. The coordinator
+    /// never becomes passive (it must source the schedule floods).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero or the coordinator is out of range.
+    pub fn new(num_nodes: usize, coordinator: NodeId, config: ForwarderConfig, seed: u64) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        assert!(coordinator.index() < num_nodes, "coordinator out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut selection = ForwarderSelection {
+            bandits: (0..num_nodes).map(|_| Exp3::new(2, config.gamma)).collect(),
+            roles: vec![Role::Forwarder; num_nodes],
+            learning_order: Vec::new(),
+            order_position: 0,
+            rounds_with_current: 0,
+            current_trial: None,
+            config,
+            coordinator,
+            rng: StdRng::seed_from_u64(0),
+        };
+        selection.learning_order = selection.shuffled_order(&mut rng);
+        selection.rng = rng;
+        selection
+    }
+
+    fn shuffled_order(&self, rng: &mut StdRng) -> Vec<usize> {
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> =
+            (0..self.bandits.len()).filter(|&i| i != self.coordinator.index()).collect();
+        order.shuffle(rng);
+        order
+    }
+
+    /// The device currently holding the learning token.
+    pub fn current_learner(&self) -> NodeId {
+        NodeId(self.learning_order[self.order_position] as u16)
+    }
+
+    /// The committed role of every device.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// Number of devices currently acting as forwarders (including the
+    /// coordinator).
+    pub fn active_forwarders(&self) -> usize {
+        self.roles.iter().filter(|&&r| r == Role::Forwarder).count()
+    }
+
+    /// Resets every device to the all-forwarders configuration (used when
+    /// interference returns and the coordinator takes back control).
+    pub fn reset_roles(&mut self) {
+        for r in &mut self.roles {
+            *r = Role::Forwarder;
+        }
+        self.current_trial = None;
+    }
+
+    /// The per-node `N_TX` assignment implied by the current roles, with the
+    /// current learner's trial (if any) applied on top.
+    pub fn assignment(&self, global_ntx: u8) -> NtxAssignment {
+        let mut per_node: Vec<u8> = self
+            .roles
+            .iter()
+            .map(|r| match r {
+                Role::Forwarder => global_ntx,
+                Role::Passive => 0,
+            })
+            .collect();
+        if let Some((arm, _)) = self.current_trial {
+            let learner = self.current_learner().index();
+            per_node[learner] = if arm == ARM_PASSIVE { 0 } else { global_ntx };
+        }
+        NtxAssignment::PerNode(per_node)
+    }
+
+    /// Starts a forwarder-selection round: the current learner draws an arm
+    /// to try. Call [`ForwarderSelection::assignment`] afterwards to obtain
+    /// the `N_TX` values for the round.
+    pub fn begin_round(&mut self) {
+        let learner = self.current_learner().index();
+        let (arm, prob) = self.bandits[learner].select_arm(&mut self.rng);
+        self.current_trial = Some((arm, prob));
+    }
+
+    /// Ends a forwarder-selection round, feeding the observed outcome back
+    /// into the current learner's bandit. `had_losses` is `true` if any
+    /// destination missed any packet in the round.
+    pub fn end_round(&mut self, had_losses: bool) {
+        let learner = self.current_learner().index();
+        if let Some((arm, prob)) = self.current_trial.take() {
+            let reward = if had_losses { 0.0 } else { 1.0 };
+            self.bandits[learner].update(arm, reward, prob);
+            if had_losses && arm == ARM_PASSIVE {
+                // Network-breaking configuration: punish by resetting the
+                // passive arm so this configuration is unlikely to reappear.
+                self.bandits[learner].reset_arm(ARM_PASSIVE);
+                self.roles[learner] = Role::Forwarder;
+            }
+        }
+        self.rounds_with_current += 1;
+        if self.rounds_with_current >= self.config.rounds_per_learner {
+            // Commit the learned role and pass the token on.
+            self.roles[learner] = if self.bandits[learner].best_arm() == ARM_PASSIVE {
+                Role::Passive
+            } else {
+                Role::Forwarder
+            };
+            self.rounds_with_current = 0;
+            self.order_position += 1;
+            if self.order_position >= self.learning_order.len() {
+                // Every device had a turn: reshuffle and keep learning
+                // (long-term adaptivity to topology changes).
+                let mut rng = StdRng::seed_from_u64(rand::Rng::gen(&mut self.rng));
+                self.learning_order = self.shuffled_order(&mut rng);
+                self.order_position = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm_selection(seed: u64) -> ForwarderSelection {
+        ForwarderSelection::new(18, NodeId(0), ForwarderConfig::default(), seed)
+    }
+
+    #[test]
+    fn everyone_starts_as_forwarder() {
+        let fs = calm_selection(1);
+        assert_eq!(fs.active_forwarders(), 18);
+        assert!(fs.roles().iter().all(|&r| r == Role::Forwarder));
+    }
+
+    #[test]
+    fn coordinator_never_learns_passivity() {
+        let mut fs = calm_selection(2);
+        for _ in 0..2000 {
+            fs.begin_round();
+            fs.end_round(false);
+        }
+        assert_eq!(fs.roles()[0], Role::Forwarder, "the coordinator must keep forwarding");
+    }
+
+    #[test]
+    fn calm_rounds_let_devices_become_passive() {
+        let mut fs = calm_selection(3);
+        // 18 learners * 10 rounds each = 180 rounds for one full pass; run a
+        // few passes of loss-free rounds.
+        for _ in 0..800 {
+            fs.begin_round();
+            fs.end_round(false);
+        }
+        let passive = 18 - fs.active_forwarders();
+        assert!(passive >= 3, "expected several passive devices, got {passive}");
+    }
+
+    #[test]
+    fn losses_on_passive_trials_reset_the_arm_and_keep_forwarding() {
+        let cfg = ForwarderConfig { rounds_per_learner: 1, ..ForwarderConfig::default() };
+        let mut fs = ForwarderSelection::new(4, NodeId(0), cfg, 5);
+        // Adversarial environment: every passive trial breaks the network.
+        for _ in 0..400 {
+            fs.begin_round();
+            let learner = fs.current_learner();
+            let tried_passive = matches!(fs.assignment(3), NtxAssignment::PerNode(ref v) if v[learner.index()] == 0);
+            fs.end_round(tried_passive);
+        }
+        assert_eq!(fs.active_forwarders(), 4, "punished devices must all stay forwarders");
+    }
+
+    #[test]
+    fn assignment_maps_roles_to_ntx() {
+        let mut fs = calm_selection(7);
+        fs.roles[3] = Role::Passive;
+        fs.roles[5] = Role::Passive;
+        match fs.assignment(4) {
+            NtxAssignment::PerNode(v) => {
+                assert_eq!(v[3], 0);
+                assert_eq!(v[5], 0);
+                assert_eq!(v[0], 4);
+                assert_eq!(v[1], 4);
+            }
+            _ => panic!("expected a per-node assignment"),
+        }
+    }
+
+    #[test]
+    fn trial_overrides_committed_role_during_the_round() {
+        let cfg = ForwarderConfig { rounds_per_learner: 1000, ..ForwarderConfig::default() };
+        let mut fs = ForwarderSelection::new(3, NodeId(0), cfg, 11);
+        // Force the learner's bandit towards passivity so the trial is
+        // passive with overwhelming probability.
+        let learner = fs.current_learner().index();
+        for _ in 0..200 {
+            fs.bandits[learner].update(ARM_PASSIVE, 1.0, 0.5);
+        }
+        fs.begin_round();
+        match fs.assignment(3) {
+            NtxAssignment::PerNode(v) => assert_eq!(v[learner], 0),
+            _ => panic!("expected per-node"),
+        }
+    }
+
+    #[test]
+    fn reset_roles_restores_all_forwarders() {
+        let mut fs = calm_selection(13);
+        for _ in 0..600 {
+            fs.begin_round();
+            fs.end_round(false);
+        }
+        fs.reset_roles();
+        assert_eq!(fs.active_forwarders(), 18);
+    }
+
+    #[test]
+    fn learning_token_rotates_through_all_devices() {
+        let cfg = ForwarderConfig { rounds_per_learner: 2, ..ForwarderConfig::default() };
+        let mut fs = ForwarderSelection::new(6, NodeId(0), cfg, 17);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..(5 * 2) {
+            seen.insert(fs.current_learner());
+            fs.begin_round();
+            fs.end_round(false);
+        }
+        assert_eq!(seen.len(), 5, "every non-coordinator device gets the token once per pass");
+        assert!(!seen.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn order_is_deterministic_per_seed_and_differs_across_seeds() {
+        let a = calm_selection(21);
+        let b = calm_selection(21);
+        let c = calm_selection(22);
+        assert_eq!(a.learning_order, b.learning_order);
+        assert_ne!(a.learning_order, c.learning_order);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinator out of range")]
+    fn invalid_coordinator_is_rejected() {
+        ForwarderSelection::new(3, NodeId(9), ForwarderConfig::default(), 0);
+    }
+}

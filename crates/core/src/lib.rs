@@ -1,0 +1,67 @@
+//! # dimmer-core — the Dimmer self-adaptive flooding protocol
+//!
+//! Dimmer (Poirot & Landsiedel, ICDCS 2021) is a self-adaptive
+//! synchronous-transmissions protocol built on LWB. It adds three components
+//! on top of the LWB round structure (Fig. 3 of the paper):
+//!
+//! * a **statistics collector** ([`stats`]) — every node continuously tracks
+//!   its packet-reception rate and radio-on time and shares them in a 2-byte
+//!   header ([`feedback`]) piggybacked on its data packets;
+//! * **central adaptivity control** ([`adaptivity`], [`state`], [`reward`]) —
+//!   at the end of each round the coordinator aggregates the collected
+//!   feedback into the DQN input vector of Table I, executes its embedded
+//!   quantized deep Q-network and chooses to *decrease / maintain / increase*
+//!   the global retransmission parameter `N_TX`, which is disseminated with
+//!   the next schedule;
+//! * **distributed forwarder selection** ([`forwarder`]) — in
+//!   interference-free periods, devices sequentially run a two-armed Exp3
+//!   bandit to learn whether they can become passive receivers
+//!   (`N_TX = 0`) and save energy without harming dissemination.
+//!
+//! The [`DimmerRunner`] ties the pieces together and drives the protocol over
+//! the simulated testbeds, producing per-round reports used by the
+//! experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dimmer_core::{DimmerConfig, DimmerRunner, AdaptivityPolicy};
+//! use dimmer_lwb::LwbConfig;
+//! use dimmer_sim::{Topology, NoInterference};
+//!
+//! let topo = Topology::kiel_testbed_18(1);
+//! let mut runner = DimmerRunner::new(
+//!     &topo,
+//!     &NoInterference,
+//!     LwbConfig::testbed_default(),
+//!     DimmerConfig::default(),
+//!     AdaptivityPolicy::rule_based(),
+//!     42,
+//! );
+//! let report = runner.run_round();
+//! assert!(report.reliability > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod adaptivity;
+pub mod config;
+pub mod feedback;
+pub mod forwarder;
+pub mod pretrained;
+pub mod reward;
+pub mod runner;
+pub mod state;
+pub mod stats;
+
+pub use action::AdaptivityAction;
+pub use adaptivity::{AdaptivityController, AdaptivityPolicy};
+pub use config::{DimmerConfig, ForwarderConfig};
+pub use feedback::FeedbackHeader;
+pub use forwarder::{ForwarderSelection, Role};
+pub use reward::reward;
+pub use runner::{DimmerRoundReport, DimmerRunner, RoundMode};
+pub use state::StateBuilder;
+pub use stats::{GlobalView, NodeStats, StatisticsCollector};

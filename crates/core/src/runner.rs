@@ -1,0 +1,591 @@
+//! The Dimmer controller: drives LWB rounds, closes the feedback loop and
+//! applies the adaptivity decisions (Fig. 3 of the paper).
+//!
+//! Per round the runner
+//!
+//! 1. decides whether the network is in *adaptivity* mode (interference seen
+//!    recently → all devices forward with the global `N_TX`) or in
+//!    *forwarder-selection* mode (calm → the token-holding device may try
+//!    passivity),
+//! 2. builds the LWB schedule for the round's sources,
+//! 3. executes the round over the simulated substrate,
+//! 4. ingests the statistics every node collected, propagates the 2-byte
+//!    feedback headers that actually reached the coordinator into its
+//!    [`GlobalView`], and
+//! 5. runs the DQN (or the bandit update) to pick the parameters of the next
+//!    round.
+//!
+//! With application-layer acknowledgements enabled (the D-Cube collection
+//! scenario), undelivered packets are retransmitted in later rounds and the
+//! end-to-end delivery ratio is tracked separately.
+
+use crate::action::AdaptivityAction;
+use crate::adaptivity::{AdaptivityController, AdaptivityPolicy};
+use crate::config::DimmerConfig;
+use crate::forwarder::ForwarderSelection;
+use crate::reward::reward;
+use crate::state::StateBuilder;
+use crate::stats::{GlobalView, StatisticsCollector};
+use dimmer_glossy::NtxAssignment;
+use dimmer_lwb::{LwbConfig, LwbScheduler, RoundExecutor, RoundOutcome, TrafficPattern};
+use dimmer_sim::{InterferenceModel, NodeId, SimDuration, SimRng, SimTime, Topology};
+
+/// Which control scheme owned the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoundMode {
+    /// The central DQN adaptivity controlled the global `N_TX`.
+    Adaptivity,
+    /// The distributed forwarder selection was allowed to experiment.
+    ForwarderSelection,
+}
+
+/// Per-round report produced by [`DimmerRunner::run_round`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimmerRoundReport {
+    /// Index of the round.
+    pub round_index: u64,
+    /// Simulated time at which the round started.
+    pub time: SimTime,
+    /// Which control scheme owned the round.
+    pub mode: RoundMode,
+    /// The global `N_TX` in effect during the round.
+    pub ntx: u8,
+    /// Raw network reliability of the round (broadcast or sink, without ACK
+    /// crediting).
+    pub reliability: f64,
+    /// Per-slot radio-on time averaged over all nodes.
+    pub mean_radio_on: SimDuration,
+    /// Number of missed (slot, destination) pairs.
+    pub losses: usize,
+    /// Reward earned by the round (Eq. 3).
+    pub reward: f64,
+    /// Number of devices acting as forwarders during the round.
+    pub active_forwarders: usize,
+    /// Energy spent by the whole network during the round, in Joules.
+    pub energy_joules: f64,
+    /// Number of application packets newly generated this round.
+    pub packets_generated: usize,
+    /// Number of application packets delivered this round (including
+    /// ACK-triggered retransmissions of older packets).
+    pub packets_delivered: usize,
+}
+
+#[derive(Debug, Clone)]
+struct PendingPacket {
+    source: NodeId,
+    retries_left: usize,
+}
+
+/// The Dimmer protocol runner.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_core::{DimmerConfig, DimmerRunner, AdaptivityPolicy};
+/// use dimmer_lwb::LwbConfig;
+/// use dimmer_sim::{Topology, NoInterference};
+///
+/// let topo = Topology::kiel_testbed_18(3);
+/// let mut runner = DimmerRunner::new(
+///     &topo,
+///     &NoInterference,
+///     LwbConfig::testbed_default(),
+///     DimmerConfig::default(),
+///     AdaptivityPolicy::rule_based(),
+///     1,
+/// );
+/// let reports = runner.run_rounds(5);
+/// assert_eq!(reports.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct DimmerRunner<'a> {
+    topology: &'a Topology,
+    executor: RoundExecutor<'a>,
+    config: DimmerConfig,
+    lwb_config: LwbConfig,
+    scheduler: LwbScheduler,
+    traffic: TrafficPattern,
+    stats: StatisticsCollector,
+    view: GlobalView,
+    state_builder: StateBuilder,
+    controller: AdaptivityController,
+    forwarder: ForwarderSelection,
+    ntx: u8,
+    calm_rounds: usize,
+    now: SimTime,
+    rng: SimRng,
+    pending: Vec<PendingPacket>,
+    total_energy_joules: f64,
+    total_generated: usize,
+    total_delivered: usize,
+    rounds_run: u64,
+}
+
+impl<'a> DimmerRunner<'a> {
+    /// Creates a runner over `topology` and `interference` with all-to-all
+    /// broadcast traffic (the 18-node testbed workload).
+    pub fn new(
+        topology: &'a Topology,
+        interference: &'a dyn InterferenceModel,
+        lwb_config: LwbConfig,
+        config: DimmerConfig,
+        policy: AdaptivityPolicy,
+        seed: u64,
+    ) -> Self {
+        let num_nodes = topology.num_nodes();
+        let executor = RoundExecutor::new(topology, interference, lwb_config.clone());
+        let scheduler = LwbScheduler::new(lwb_config.clone());
+        let forwarder = ForwarderSelection::new(
+            num_nodes,
+            topology.coordinator(),
+            config.forwarder.clone(),
+            seed ^ 0xF0,
+        );
+        DimmerRunner {
+            topology,
+            executor,
+            scheduler,
+            traffic: TrafficPattern::AllToAll,
+            stats: StatisticsCollector::new(num_nodes, 8),
+            view: GlobalView::new(num_nodes),
+            state_builder: StateBuilder::new(config.clone()),
+            controller: AdaptivityController::new(policy, config.clone()),
+            forwarder,
+            ntx: config.initial_ntx,
+            calm_rounds: 0,
+            now: SimTime::ZERO,
+            rng: SimRng::seed_from(seed),
+            pending: Vec::new(),
+            total_energy_joules: 0.0,
+            total_generated: 0,
+            total_delivered: 0,
+            rounds_run: 0,
+            lwb_config,
+            config,
+        }
+    }
+
+    /// Replaces the traffic pattern (e.g. the D-Cube aperiodic collection).
+    pub fn with_traffic(mut self, traffic: TrafficPattern) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// The current global retransmission parameter.
+    pub fn ntx(&self) -> u8 {
+        self.ntx
+    }
+
+    /// The Dimmer configuration.
+    pub fn config(&self) -> &DimmerConfig {
+        &self.config
+    }
+
+    /// The LWB configuration.
+    pub fn lwb_config(&self) -> &LwbConfig {
+        &self.lwb_config
+    }
+
+    /// The coordinator's current global view.
+    pub fn global_view(&self) -> &GlobalView {
+        &self.view
+    }
+
+    /// Total energy spent by the network so far, in Joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.total_energy_joules
+    }
+
+    /// End-to-end application reliability so far: delivered / generated
+    /// packets (1.0 before any packet was generated). With acknowledgements
+    /// enabled this credits packets delivered by a retransmission.
+    pub fn app_reliability(&self) -> f64 {
+        if self.total_generated == 0 {
+            1.0
+        } else {
+            self.total_delivered as f64 / self.total_generated as f64
+        }
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Runs `count` consecutive rounds and returns their reports.
+    pub fn run_rounds(&mut self, count: usize) -> Vec<DimmerRoundReport> {
+        (0..count).map(|_| self.run_round()).collect()
+    }
+
+    /// Executes one full Dimmer round and advances simulated time by the LWB
+    /// round period.
+    pub fn run_round(&mut self) -> DimmerRoundReport {
+        // 1. Mode selection: calm networks hand control to the forwarder
+        //    selection; any recent loss keeps (or puts back) every device in
+        //    forwarding mode under the central adaptivity.
+        let forwarder_mode = self.config.forwarder.enabled
+            && self.calm_rounds >= self.config.forwarder.calm_rounds_threshold;
+        let mode =
+            if forwarder_mode { RoundMode::ForwarderSelection } else { RoundMode::Adaptivity };
+
+        // 2. Sources for this round: fresh traffic plus (with ACKs) pending
+        //    retransmissions.
+        let all_nodes: Vec<NodeId> = self.topology.node_ids().collect();
+        let mut sources = self.traffic.sources_for_round(&all_nodes, &mut self.rng);
+        let fresh_sources = sources.clone();
+        if self.config.acknowledgements {
+            for p in &self.pending {
+                if !sources.contains(&p.source) {
+                    sources.push(p.source);
+                }
+            }
+        }
+
+        // 3. N_TX assignment.
+        let assignment = if mode == RoundMode::ForwarderSelection {
+            self.forwarder.begin_round();
+            self.forwarder.assignment(self.ntx)
+        } else {
+            NtxAssignment::Uniform(self.ntx)
+        };
+
+        // 4. Execute the round.
+        let feedback_before = self.stats.feedback();
+        let schedule = self.scheduler.next_schedule(&sources, assignment);
+        let round = self.executor.run_round(&schedule, self.now, &mut self.rng);
+
+        // 5. Statistics and feedback propagation. A node's feedback reaches
+        //    the coordinator only if its data-slot flood did.
+        self.stats.ingest_round(&round);
+        let coordinator = self.topology.coordinator();
+        for slot in round.data_slots() {
+            if slot.flood.received(coordinator) {
+                self.view.update(slot.source, feedback_before[slot.source.index()]);
+            }
+        }
+        self.view.mark_round();
+
+        // 6. Round-level outcome metrics.
+        let (reliability, losses) = match self.traffic.sink() {
+            Some(sink) => {
+                let r = round.sink_reliability(sink);
+                let missed = round
+                    .data_slots()
+                    .iter()
+                    .filter(|s| s.source != sink && !s.flood.received(sink))
+                    .count();
+                (r, missed)
+            }
+            None => (round.broadcast_reliability(), round.losses()),
+        };
+        let had_losses = losses > 0;
+        let round_reward = reward(!had_losses, self.ntx, self.config.n_max, self.config.reward_c);
+        let energy = self.round_energy(&round);
+        self.total_energy_joules += energy;
+        // Interference detection: a round counts as calm if essentially every
+        // destination was served; isolated transient misses do not push the
+        // network back into all-forwarders mode.
+        let calm = reliability >= 0.995;
+        self.calm_rounds = if calm { self.calm_rounds + 1 } else { 0 };
+
+        // 7. Application-layer delivery tracking (ACK mode).
+        let (generated, delivered) = self.track_delivery(&round, &fresh_sources);
+
+        // 8. Learn / adapt for the next round.
+        let active_forwarders = match mode {
+            RoundMode::ForwarderSelection => {
+                let forwarders = self.forwarder.active_forwarders();
+                self.forwarder.end_round(had_losses);
+                if !calm {
+                    // Interference returned: every device becomes a forwarder
+                    // again and the DQN takes over next round.
+                    self.forwarder.reset_roles();
+                }
+                forwarders
+            }
+            RoundMode::Adaptivity => self.topology.num_nodes(),
+        };
+        self.state_builder.record_history(had_losses);
+        // The coordinator executes its policy after every round, even while
+        // the forwarder selection experiments: N_TX must still converge back
+        // to its calm setpoint after interference passes (Fig. 4c).
+        if self.config.adaptivity_enabled {
+            let state = self.state_builder.build(&self.view, self.ntx);
+            let action = self.controller.decide(&state);
+            self.ntx = action.apply(self.ntx, self.config.n_min, self.config.n_max);
+        }
+
+        let report = DimmerRoundReport {
+            round_index: round.round_index(),
+            time: self.now,
+            mode,
+            ntx: match round.schedule().ntx() {
+                NtxAssignment::Uniform(n) => *n,
+                NtxAssignment::PerNode(_) => self.ntx,
+            },
+            reliability,
+            mean_radio_on: round.mean_radio_on_per_slot(),
+            losses,
+            reward: round_reward,
+            active_forwarders,
+            energy_joules: energy,
+            packets_generated: generated,
+            packets_delivered: delivered,
+        };
+
+        self.now += self.lwb_config.round_period;
+        self.rounds_run += 1;
+        report
+    }
+
+    /// Applies an external adaptivity decision instead of the internal
+    /// policy for the *next* round (used by the PID baseline harness and by
+    /// the trace-collection pipeline).
+    pub fn force_ntx(&mut self, ntx: u8) {
+        self.ntx = ntx.clamp(self.config.n_min, self.config.n_max);
+    }
+
+    /// Convenience access to the action the internal policy would take for
+    /// the current view and `N_TX` (without applying it).
+    pub fn peek_action(&self) -> AdaptivityAction {
+        let state = self.state_builder.build(&self.view, self.ntx);
+        self.controller.decide(&state)
+    }
+
+    fn round_energy(&self, round: &RoundOutcome) -> f64 {
+        self.topology
+            .node_ids()
+            .map(|n| round.node_round_radio(n).energy_joules())
+            .sum()
+    }
+
+    fn track_delivery(
+        &mut self,
+        round: &RoundOutcome,
+        fresh_sources: &[NodeId],
+    ) -> (usize, usize) {
+        let sink = match self.traffic.sink() {
+            Some(s) => s,
+            None => {
+                // Broadcast traffic: count a packet as delivered if every
+                // destination received it; no retransmissions.
+                let mut generated = 0;
+                let mut delivered = 0;
+                for slot in round.data_slots() {
+                    generated += 1;
+                    let all = self
+                        .topology
+                        .node_ids()
+                        .filter(|&n| n != slot.source)
+                        .all(|n| slot.flood.received(n));
+                    if all {
+                        delivered += 1;
+                    }
+                }
+                self.total_generated += generated;
+                self.total_delivered += delivered;
+                return (generated, delivered);
+            }
+        };
+
+        let mut generated = 0;
+        let mut delivered = 0;
+        for slot in round.data_slots() {
+            let ok = slot.source == sink || slot.flood.received(sink);
+            let was_pending = self.pending.iter().position(|p| p.source == slot.source);
+            let is_fresh = fresh_sources.contains(&slot.source);
+            if is_fresh && was_pending.is_none() {
+                generated += 1;
+                self.total_generated += 1;
+            }
+            if ok {
+                delivered += 1;
+                self.total_delivered += 1;
+                if let Some(idx) = was_pending {
+                    self.pending.remove(idx);
+                }
+            } else if self.config.acknowledgements {
+                match was_pending {
+                    Some(idx) => {
+                        self.pending[idx].retries_left =
+                            self.pending[idx].retries_left.saturating_sub(1);
+                        if self.pending[idx].retries_left == 0 {
+                            self.pending.remove(idx);
+                        }
+                    }
+                    None if is_fresh => self.pending.push(PendingPacket {
+                        source: slot.source,
+                        retries_left: self.config.max_ack_retries,
+                    }),
+                    None => {}
+                }
+            }
+        }
+        (generated, delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmer_sim::{NoInterference, PeriodicJammer, ScheduledInterference};
+
+    fn calm_runner<'a>(
+        topo: &'a Topology,
+        interference: &'a dyn InterferenceModel,
+        seed: u64,
+    ) -> DimmerRunner<'a> {
+        DimmerRunner::new(
+            topo,
+            interference,
+            LwbConfig::testbed_default(),
+            DimmerConfig::default(),
+            AdaptivityPolicy::rule_based(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn calm_rounds_are_reliable_and_decrease_ntx() {
+        let topo = Topology::kiel_testbed_18(1);
+        let mut runner = calm_runner(&topo, &NoInterference, 2);
+        let reports = runner.run_rounds(8);
+        let avg_rel: f64 = reports.iter().map(|r| r.reliability).sum::<f64>() / 8.0;
+        assert!(avg_rel > 0.97, "calm reliability {avg_rel}");
+        // The rule-based policy drives N_TX towards the minimum when calm.
+        assert!(runner.ntx() <= DimmerConfig::default().initial_ntx);
+    }
+
+    #[test]
+    fn interference_raises_ntx() {
+        let topo = Topology::kiel_testbed_18(1);
+        let mut interference = dimmer_sim::CompositeInterference::new();
+        for j in PeriodicJammer::kiel_pair(0.35) {
+            interference.push(Box::new(j));
+        }
+        let mut runner = calm_runner(&topo, &interference, 3);
+        runner.run_rounds(10);
+        assert!(
+            runner.ntx() >= 5,
+            "N_TX should have been raised under 35% jamming, got {}",
+            runner.ntx()
+        );
+    }
+
+    #[test]
+    fn ntx_recovers_after_interference_passes() {
+        let topo = Topology::kiel_testbed_18(1);
+        let mut schedule = ScheduledInterference::new();
+        for j in PeriodicJammer::kiel_pair(0.35) {
+            schedule.add_window(SimTime::ZERO, SimTime::from_secs(40), Box::new(j));
+        }
+        let mut runner = calm_runner(&topo, &schedule, 5);
+        // 10 rounds (40 s) of jamming, then calm.
+        runner.run_rounds(10);
+        let during = runner.ntx();
+        runner.run_rounds(15);
+        let after = runner.ntx();
+        assert!(during > after, "N_TX should fall back once calm ({during} -> {after})");
+    }
+
+    #[test]
+    fn calm_network_eventually_enters_forwarder_selection() {
+        let topo = Topology::kiel_testbed_18(2);
+        let mut runner = calm_runner(&topo, &NoInterference, 7);
+        let reports = runner.run_rounds(30);
+        assert!(
+            reports.iter().any(|r| r.mode == RoundMode::ForwarderSelection),
+            "a calm network must hand control to the forwarder selection"
+        );
+    }
+
+    #[test]
+    fn forwarder_selection_disabled_keeps_adaptivity_mode() {
+        let topo = Topology::kiel_testbed_18(2);
+        let cfg = DimmerConfig::dcube();
+        let mut runner = DimmerRunner::new(
+            &topo,
+            &NoInterference,
+            LwbConfig::testbed_default(),
+            cfg,
+            AdaptivityPolicy::rule_based(),
+            7,
+        );
+        let reports = runner.run_rounds(20);
+        assert!(reports.iter().all(|r| r.mode == RoundMode::Adaptivity));
+    }
+
+    #[test]
+    fn reports_are_internally_consistent() {
+        let topo = Topology::kiel_testbed_18(3);
+        let mut runner = calm_runner(&topo, &NoInterference, 11);
+        for r in runner.run_rounds(6) {
+            assert!((0.0..=1.0).contains(&r.reliability));
+            assert!((0.0..=1.0).contains(&r.reward));
+            assert!(r.ntx >= 1 && r.ntx <= 8);
+            assert!(r.mean_radio_on <= SimDuration::from_millis(20));
+            assert!(r.energy_joules >= 0.0);
+            assert!(r.packets_delivered <= r.packets_generated + 18);
+        }
+        assert_eq!(runner.rounds_run(), 6);
+        assert!(runner.total_energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn collection_traffic_with_acks_recovers_lost_packets() {
+        let topo = Topology::dcube_48(1);
+        let mut interference = dimmer_sim::CompositeInterference::new();
+        interference.push(Box::new(dimmer_sim::WifiInterference::new(
+            dimmer_sim::WifiLevel::Level1,
+            9,
+        )));
+        let traffic = TrafficPattern::dcube_collection(48, 5, topo.coordinator());
+        let cfg = DimmerConfig::dcube();
+        let lwb = LwbConfig::dcube_default();
+        let make_runner = |acks: bool, seed: u64| {
+            let mut c = cfg.clone();
+            c.acknowledgements = acks;
+            DimmerRunner::new(&topo, &interference, lwb.clone(), c, AdaptivityPolicy::rule_based(), seed)
+                .with_traffic(traffic.clone())
+        };
+        let mut with_acks = make_runner(true, 4);
+        let mut without_acks = make_runner(false, 4);
+        with_acks.run_rounds(80);
+        without_acks.run_rounds(80);
+        assert!(
+            with_acks.app_reliability() >= without_acks.app_reliability(),
+            "ACKs must not hurt delivery ({} vs {})",
+            with_acks.app_reliability(),
+            without_acks.app_reliability()
+        );
+        assert!(with_acks.app_reliability() > 0.8);
+    }
+
+    #[test]
+    fn force_ntx_clamps_and_applies() {
+        let topo = Topology::kiel_testbed_18(5);
+        let mut runner = calm_runner(&topo, &NoInterference, 13);
+        runner.force_ntx(20);
+        assert_eq!(runner.ntx(), 8);
+        runner.force_ntx(0);
+        assert_eq!(runner.ntx(), 1);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let topo = Topology::kiel_testbed_18(6);
+        let mut a = calm_runner(&topo, &NoInterference, 99);
+        let mut b = calm_runner(&topo, &NoInterference, 99);
+        assert_eq!(a.run_rounds(5), b.run_rounds(5));
+    }
+
+    #[test]
+    fn time_advances_by_the_round_period() {
+        let topo = Topology::kiel_testbed_18(6);
+        let mut runner = calm_runner(&topo, &NoInterference, 1);
+        let reports = runner.run_rounds(3);
+        assert_eq!(reports[0].time, SimTime::ZERO);
+        assert_eq!(reports[1].time, SimTime::from_secs(4));
+        assert_eq!(reports[2].time, SimTime::from_secs(8));
+    }
+}

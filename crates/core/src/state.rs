@@ -1,0 +1,244 @@
+//! Construction of the DQN input vector (Table I of the paper).
+//!
+//! | Input        | Rows            | Normalization                      |
+//! |--------------|-----------------|------------------------------------|
+//! | Radio-on time| K (10)          | [0, 20 ms] → [-1, 1]               |
+//! | Reliability  | K (10)          | [50, 100 %] → [-1, 1]              |
+//! | N parameter  | N_max + 1 (9)   | one-hot encoding                   |
+//! | History      | M (2)           | -1 if losses that round, else 1    |
+//!
+//! The K entries come from the K *lowest-reliability* nodes, which makes the
+//! input size independent of the deployment size (§IV-B "Network-size
+//! independence"): Dimmer runs unchanged on 18 or 48 nodes.
+
+use crate::config::DimmerConfig;
+use crate::feedback::FeedbackHeader;
+use crate::stats::GlobalView;
+use std::collections::VecDeque;
+
+/// Builds DQN input vectors from the coordinator's global view, the current
+/// `N_TX` and the loss history.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_core::{DimmerConfig, StateBuilder, GlobalView};
+/// let cfg = DimmerConfig::default();
+/// let mut builder = StateBuilder::new(cfg.clone());
+/// let view = GlobalView::new(18);
+/// let state = builder.build(&view, 3);
+/// assert_eq!(state.len(), cfg.state_dim());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateBuilder {
+    config: DimmerConfig,
+    history: VecDeque<bool>,
+}
+
+impl StateBuilder {
+    /// Creates a builder; the history starts out loss-free.
+    pub fn new(config: DimmerConfig) -> Self {
+        let history = (0..config.history_size).map(|_| false).collect();
+        StateBuilder { config, history }
+    }
+
+    /// The configuration driving the layout of the state vector.
+    pub fn config(&self) -> &DimmerConfig {
+        &self.config
+    }
+
+    /// Records whether the most recent round experienced any packet loss.
+    pub fn record_history(&mut self, had_losses: bool) {
+        if self.config.history_size == 0 {
+            return;
+        }
+        if self.history.len() == self.config.history_size {
+            self.history.pop_front();
+        }
+        self.history.push_back(had_losses);
+    }
+
+    /// Normalizes a radio-on time (µs) from `[0, 20 ms]` to `[-1, 1]`.
+    pub fn normalize_radio_on(radio_on_us: u64) -> f32 {
+        let max = FeedbackHeader::MAX_RADIO_ON.as_micros() as f64;
+        let clamped = (radio_on_us as f64).min(max);
+        (2.0 * clamped / max - 1.0) as f32
+    }
+
+    /// Normalizes a reliability from `[0.5, 1.0]` to `[-1, 1]`; anything
+    /// below 50 % maps to -1.
+    pub fn normalize_reliability(reliability: f64) -> f32 {
+        let clamped = reliability.clamp(0.5, 1.0);
+        ((clamped - 0.5) / 0.5 * 2.0 - 1.0) as f32
+    }
+
+    /// Builds the DQN input vector for the current `view` and `ntx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ntx` exceeds the configured `N_max`.
+    pub fn build(&self, view: &GlobalView, ntx: u8) -> Vec<f32> {
+        assert!(ntx <= self.config.n_max, "N_TX out of range");
+        let mut state = Vec::with_capacity(self.config.state_dim());
+
+        // K lowest-reliability nodes; if the network is smaller than K the
+        // missing rows are filled pessimistically (0% reliability, 100%
+        // radio-on), mirroring "absence of feedback".
+        let worst = view.worst_nodes();
+        let k = self.config.k_input_nodes;
+        let selected: Vec<FeedbackHeader> = (0..k)
+            .map(|i| {
+                worst.get(i).map(|&n| view.feedback(n)).unwrap_or_else(FeedbackHeader::pessimistic)
+            })
+            .collect();
+
+        // Radio-on rows.
+        for fb in &selected {
+            state.push(Self::normalize_radio_on(fb.radio_on().as_micros()));
+        }
+        // Reliability rows.
+        for fb in &selected {
+            state.push(Self::normalize_reliability(fb.reliability()));
+        }
+        // One-hot N_TX.
+        for value in 0..=self.config.n_max {
+            state.push(if value == ntx { 1.0 } else { 0.0 });
+        }
+        // History: most recent last; -1 encodes losses.
+        for i in 0..self.config.history_size {
+            let had_losses = self.history.get(i).copied().unwrap_or(false);
+            state.push(if had_losses { -1.0 } else { 1.0 });
+        }
+        debug_assert_eq!(state.len(), self.config.state_dim());
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmer_sim::{NodeId, SimDuration};
+    use proptest::prelude::*;
+
+    fn view_with(rels: &[(u16, f64, u64)]) -> GlobalView {
+        let n = rels.iter().map(|(i, _, _)| *i as usize + 1).max().unwrap_or(1);
+        let mut v = GlobalView::new(n);
+        for &(i, rel, on_us) in rels {
+            v.update(NodeId(i), FeedbackHeader::new(rel, SimDuration::from_micros(on_us)));
+        }
+        v
+    }
+
+    #[test]
+    fn state_vector_has_table_1_layout() {
+        let cfg = DimmerConfig::default();
+        let builder = StateBuilder::new(cfg.clone());
+        let state = builder.build(&GlobalView::new(18), 3);
+        assert_eq!(state.len(), 31);
+        // One-hot block: exactly one 1.0 at index 2K + ntx.
+        let one_hot = &state[20..29];
+        assert_eq!(one_hot.iter().filter(|&&x| x == 1.0).count(), 1);
+        assert_eq!(one_hot[3], 1.0);
+        // History defaults to "no losses" = 1.
+        assert_eq!(&state[29..], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn normalization_matches_table_1() {
+        assert_eq!(StateBuilder::normalize_radio_on(0), -1.0);
+        assert_eq!(StateBuilder::normalize_radio_on(20_000), 1.0);
+        assert!((StateBuilder::normalize_radio_on(10_000)).abs() < 1e-6);
+        assert_eq!(StateBuilder::normalize_reliability(1.0), 1.0);
+        assert_eq!(StateBuilder::normalize_reliability(0.5), -1.0);
+        assert_eq!(StateBuilder::normalize_reliability(0.2), -1.0, "below 50% maps to -1");
+        assert!((StateBuilder::normalize_reliability(0.75)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_nodes_fill_the_k_slots() {
+        let cfg = DimmerConfig::default().with_k_input_nodes(2);
+        let builder = StateBuilder::new(cfg);
+        let view = view_with(&[(0, 1.0, 1_000), (1, 0.6, 15_000), (2, 0.9, 5_000)]);
+        let state = builder.build(&view, 1);
+        // The two worst nodes are node 1 (0.6) and node 2 (0.9).
+        assert!((state[0] - StateBuilder::normalize_radio_on(15_000)).abs() < 1e-6);
+        assert!((state[2] - StateBuilder::normalize_reliability(0.6)).abs() < 1e-6);
+        assert!((state[3] - StateBuilder::normalize_reliability(0.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_nodes_are_pessimistic() {
+        // K = 10 but the network only has 4 nodes: rows 5..10 must be filled
+        // with 0% reliability / 100% radio-on.
+        let cfg = DimmerConfig::default();
+        let builder = StateBuilder::new(cfg);
+        let mut view = GlobalView::new(4);
+        for i in 0..4u16 {
+            view.update(NodeId(i), FeedbackHeader::new(1.0, SimDuration::from_millis(5)));
+        }
+        let state = builder.build(&view, 3);
+        // Radio-on rows 4..10 = +1 (100% of 20 ms), reliability rows 14..20 = -1.
+        for i in 4..10 {
+            assert_eq!(state[i], 1.0);
+            assert_eq!(state[10 + i], -1.0);
+        }
+    }
+
+    #[test]
+    fn history_is_a_sliding_window() {
+        let cfg = DimmerConfig::default().with_history_size(2);
+        let mut builder = StateBuilder::new(cfg);
+        let view = GlobalView::new(18);
+        builder.record_history(true);
+        let s = builder.build(&view, 3);
+        assert_eq!(&s[29..], &[1.0, -1.0]);
+        builder.record_history(false);
+        let s = builder.build(&view, 3);
+        assert_eq!(&s[29..], &[-1.0, 1.0]);
+        builder.record_history(false);
+        let s = builder.build(&view, 3);
+        assert_eq!(&s[29..], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_history_config_has_no_history_rows() {
+        let cfg = DimmerConfig::default().with_history_size(0);
+        let mut builder = StateBuilder::new(cfg.clone());
+        builder.record_history(true); // must be a no-op
+        let state = builder.build(&GlobalView::new(18), 3);
+        assert_eq!(state.len(), cfg.state_dim());
+        assert_eq!(state.len(), 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "N_TX out of range")]
+    fn ntx_above_n_max_is_rejected() {
+        let builder = StateBuilder::new(DimmerConfig::default());
+        builder.build(&GlobalView::new(18), 9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_state_entries_are_normalized(
+            rels in proptest::collection::vec((0.0f64..=1.0, 0u64..=20_000), 1..30),
+            ntx in 0u8..=8,
+            k in 1usize..=18,
+            m in 0usize..=5,
+        ) {
+            let cfg = DimmerConfig::default().with_k_input_nodes(k).with_history_size(m);
+            let builder = StateBuilder::new(cfg.clone());
+            let mut view = GlobalView::new(rels.len().max(2));
+            for (i, (rel, on)) in rels.iter().enumerate() {
+                view.update(NodeId(i as u16), FeedbackHeader::new(*rel, SimDuration::from_micros(*on)));
+            }
+            let state = builder.build(&view, ntx);
+            prop_assert_eq!(state.len(), cfg.state_dim());
+            for v in &state {
+                prop_assert!((-1.0..=1.0).contains(v), "entry {v} out of range");
+            }
+            // Exactly one bit set in the one-hot block.
+            let one_hot = &state[2 * k..2 * k + 9];
+            prop_assert_eq!(one_hot.iter().filter(|&&x| x == 1.0).count(), 1);
+        }
+    }
+}

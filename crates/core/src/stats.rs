@@ -1,0 +1,328 @@
+//! Statistics collection: per-node performance tracking and the
+//! coordinator's global view of the network.
+//!
+//! Each device continuously monitors its own packet reception rate and
+//! average radio-on time over a sliding window of recent slots. The values
+//! are shared through the [`crate::FeedbackHeader`]; the coordinator (and, in
+//! fact, every node) aggregates whatever feedback it actually received into a
+//! [`GlobalView`], filling missing entries with pessimistic values.
+
+use crate::feedback::FeedbackHeader;
+use dimmer_lwb::RoundOutcome;
+use dimmer_sim::{NodeId, SimDuration};
+use std::collections::VecDeque;
+
+/// A node's local performance statistics over a sliding window of recent
+/// rounds.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_core::NodeStats;
+/// use dimmer_sim::SimDuration;
+/// let mut stats = NodeStats::new(8);
+/// stats.record_round(0.9, SimDuration::from_millis(10));
+/// stats.record_round(1.0, SimDuration::from_millis(8));
+/// assert!((stats.reliability() - 0.95).abs() < 1e-9);
+/// assert_eq!(stats.radio_on(), SimDuration::from_millis(9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    window: usize,
+    reliabilities: VecDeque<f64>,
+    radio_on: VecDeque<SimDuration>,
+}
+
+impl NodeStats {
+    /// Creates a statistics tracker averaging over the last `window` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        NodeStats { window, reliabilities: VecDeque::new(), radio_on: VecDeque::new() }
+    }
+
+    /// Records the node's observation of one round: the fraction of expected
+    /// packets it received and its average per-slot radio-on time.
+    pub fn record_round(&mut self, reliability: f64, radio_on: SimDuration) {
+        if self.reliabilities.len() == self.window {
+            self.reliabilities.pop_front();
+            self.radio_on.pop_front();
+        }
+        self.reliabilities.push_back(reliability.clamp(0.0, 1.0));
+        self.radio_on.push_back(radio_on);
+    }
+
+    /// Number of recorded rounds currently in the window.
+    pub fn len(&self) -> usize {
+        self.reliabilities.len()
+    }
+
+    /// Returns `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.reliabilities.is_empty()
+    }
+
+    /// Average packet reception rate over the window (1.0 when empty).
+    pub fn reliability(&self) -> f64 {
+        if self.reliabilities.is_empty() {
+            return 1.0;
+        }
+        self.reliabilities.iter().sum::<f64>() / self.reliabilities.len() as f64
+    }
+
+    /// Average per-slot radio-on time over the window (zero when empty).
+    pub fn radio_on(&self) -> SimDuration {
+        if self.radio_on.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.radio_on.iter().map(|d| d.as_micros()).sum();
+        SimDuration::from_micros(total / self.radio_on.len() as u64)
+    }
+
+    /// The node's current feedback header.
+    pub fn to_feedback(&self) -> FeedbackHeader {
+        FeedbackHeader::new(self.reliability(), self.radio_on())
+    }
+}
+
+impl Default for NodeStats {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// Tracks the local statistics of every node in the network (each node in
+/// the real system runs its own instance; the simulation keeps them together
+/// for convenience).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatisticsCollector {
+    per_node: Vec<NodeStats>,
+}
+
+impl StatisticsCollector {
+    /// Creates a collector for `num_nodes` nodes with the given averaging
+    /// window.
+    pub fn new(num_nodes: usize, window: usize) -> Self {
+        StatisticsCollector { per_node: (0..num_nodes).map(|_| NodeStats::new(window)).collect() }
+    }
+
+    /// Number of tracked nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// The statistics of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: NodeId) -> &NodeStats {
+        &self.per_node[node.index()]
+    }
+
+    /// Ingests one executed round: every node records the fraction of other
+    /// sources' packets it received and its per-slot radio-on time.
+    pub fn ingest_round(&mut self, round: &RoundOutcome) {
+        for (i, stats) in self.per_node.iter_mut().enumerate() {
+            let node = NodeId(i as u16);
+            stats.record_round(
+                round.node_reception_ratio(node),
+                round.node_radio_on_per_slot(node),
+            );
+        }
+    }
+
+    /// The current feedback header of every node.
+    pub fn feedback(&self) -> Vec<FeedbackHeader> {
+        self.per_node.iter().map(NodeStats::to_feedback).collect()
+    }
+}
+
+/// The coordinator's snapshot of the whole network, built from the feedback
+/// it actually received; missing nodes carry pessimistic values.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_core::{GlobalView, FeedbackHeader};
+/// use dimmer_sim::{NodeId, SimDuration};
+/// let mut view = GlobalView::new(3);
+/// view.update(NodeId(1), FeedbackHeader::new(0.8, SimDuration::from_millis(9)));
+/// view.mark_round();
+/// assert!((view.feedback(NodeId(1)).reliability() - 0.8).abs() < 1e-9);
+/// // Node 2 never reported: pessimistic.
+/// assert_eq!(view.feedback(NodeId(2)).reliability(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalView {
+    entries: Vec<FeedbackHeader>,
+    fresh: Vec<bool>,
+    /// How many rounds a stale entry survives before being reset to
+    /// pessimistic values.
+    staleness_limit: u32,
+    age: Vec<u32>,
+}
+
+impl GlobalView {
+    /// Creates a view over `num_nodes` nodes, initially pessimistic.
+    pub fn new(num_nodes: usize) -> Self {
+        GlobalView {
+            entries: vec![FeedbackHeader::pessimistic(); num_nodes],
+            fresh: vec![false; num_nodes],
+            staleness_limit: 2,
+            age: vec![u32::MAX; num_nodes],
+        }
+    }
+
+    /// Number of nodes covered by the view.
+    pub fn num_nodes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Stores freshly received feedback for `node`.
+    pub fn update(&mut self, node: NodeId, feedback: FeedbackHeader) {
+        self.entries[node.index()] = feedback;
+        self.fresh[node.index()] = true;
+        self.age[node.index()] = 0;
+    }
+
+    /// Ends the current round: entries not updated this round age by one;
+    /// entries older than the staleness limit fall back to pessimistic
+    /// values.
+    pub fn mark_round(&mut self) {
+        for i in 0..self.entries.len() {
+            if !self.fresh[i] {
+                self.age[i] = self.age[i].saturating_add(1);
+                if self.age[i] > self.staleness_limit {
+                    self.entries[i] = FeedbackHeader::pessimistic();
+                }
+            }
+            self.fresh[i] = false;
+        }
+    }
+
+    /// The most recent (or pessimistic) feedback for `node`.
+    pub fn feedback(&self, node: NodeId) -> FeedbackHeader {
+        self.entries[node.index()]
+    }
+
+    /// All entries, indexed by node.
+    pub fn all(&self) -> &[FeedbackHeader] {
+        &self.entries
+    }
+
+    /// The node indices sorted by ascending reliability (worst first), which
+    /// is how the DQN input selects its K nodes.
+    pub fn worst_nodes(&self) -> Vec<NodeId> {
+        let mut idx: Vec<usize> = (0..self.entries.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.entries[a]
+                .reliability()
+                .partial_cmp(&self.entries[b].reliability())
+                .expect("reliabilities are finite")
+                .then(a.cmp(&b))
+        });
+        idx.into_iter().map(|i| NodeId(i as u16)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn node_stats_average_over_window() {
+        let mut s = NodeStats::new(2);
+        s.record_round(1.0, SimDuration::from_millis(10));
+        s.record_round(0.5, SimDuration::from_millis(20));
+        s.record_round(0.0, SimDuration::from_millis(30)); // evicts the 1.0 entry
+        assert!((s.reliability() - 0.25).abs() < 1e-9);
+        assert_eq!(s.radio_on(), SimDuration::from_millis(25));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_optimistic() {
+        let s = NodeStats::new(4);
+        assert!(s.is_empty());
+        assert_eq!(s.reliability(), 1.0);
+        assert_eq!(s.radio_on(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_is_rejected() {
+        NodeStats::new(0);
+    }
+
+    #[test]
+    fn collector_tracks_every_node() {
+        let c = StatisticsCollector::new(5, 4);
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.feedback().len(), 5);
+    }
+
+    #[test]
+    fn global_view_starts_pessimistic_and_updates() {
+        let mut v = GlobalView::new(2);
+        assert_eq!(v.feedback(NodeId(0)).reliability(), 0.0);
+        v.update(NodeId(0), FeedbackHeader::new(1.0, SimDuration::from_millis(5)));
+        assert_eq!(v.feedback(NodeId(0)).reliability(), 1.0);
+    }
+
+    #[test]
+    fn stale_entries_decay_to_pessimistic() {
+        let mut v = GlobalView::new(1);
+        v.update(NodeId(0), FeedbackHeader::new(0.9, SimDuration::from_millis(5)));
+        v.mark_round();
+        // Still within the staleness limit.
+        v.mark_round();
+        v.mark_round();
+        assert!(v.feedback(NodeId(0)).reliability() > 0.0);
+        v.mark_round();
+        assert_eq!(v.feedback(NodeId(0)).reliability(), 0.0, "stale entry must decay");
+    }
+
+    #[test]
+    fn worst_nodes_sorted_by_reliability() {
+        let mut v = GlobalView::new(3);
+        v.update(NodeId(0), FeedbackHeader::new(0.9, SimDuration::ZERO));
+        v.update(NodeId(1), FeedbackHeader::new(0.2, SimDuration::ZERO));
+        v.update(NodeId(2), FeedbackHeader::new(0.6, SimDuration::ZERO));
+        assert_eq!(v.worst_nodes(), vec![NodeId(1), NodeId(2), NodeId(0)]);
+    }
+
+    #[test]
+    fn worst_nodes_tie_break_is_deterministic() {
+        let v = GlobalView::new(4);
+        assert_eq!(v.worst_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stats_stay_in_valid_ranges(values in proptest::collection::vec((0.0f64..=1.0, 0u64..=20_000), 1..30)) {
+            let mut s = NodeStats::new(8);
+            for (rel, on) in values {
+                s.record_round(rel, SimDuration::from_micros(on));
+            }
+            prop_assert!((0.0..=1.0).contains(&s.reliability()));
+            prop_assert!(s.radio_on() <= SimDuration::from_millis(20));
+            prop_assert!(s.len() <= 8);
+        }
+
+        #[test]
+        fn prop_worst_nodes_is_a_permutation(rels in proptest::collection::vec(0.0f64..=1.0, 1..20)) {
+            let mut v = GlobalView::new(rels.len());
+            for (i, r) in rels.iter().enumerate() {
+                v.update(NodeId(i as u16), FeedbackHeader::new(*r, SimDuration::ZERO));
+            }
+            let mut order: Vec<usize> = v.worst_nodes().iter().map(|n| n.index()).collect();
+            order.sort_unstable();
+            prop_assert_eq!(order, (0..rels.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Slot-by-slot simulation of a Glossy flood.
+//!
+//! The flood advances in *relay slots* of one packet air time plus the RX/TX
+//! turnaround (~1.4 ms for the paper's 30-byte packets). In every relay slot
+//! a set of nodes transmits the same packet; every node that does not yet
+//! have the packet listens and receives it with a probability that combines
+//!
+//! * the link PRR towards each concurrent transmitter (capture effect /
+//!   constructive interference: more transmitters → more chances),
+//! * a small concurrency penalty modelling imperfect synchronization, and
+//! * the interference busy fraction at the receiver for that slot.
+//!
+//! A node that received the packet in slot `k` retransmits in slots `k+1`,
+//! `k+3`, … until it has transmitted its `N_TX` share, then switches its
+//! radio off. Nodes with `N_TX = 0` (passive receivers in Dimmer's forwarder
+//! selection) switch off right after their first reception. Nodes that never
+//! receive keep listening for the whole slot budget — exactly the radio-on
+//! accounting used in the paper ("slots in which no packet was received are
+//! accounted for").
+
+use crate::config::GlossyConfig;
+use crate::outcome::{FloodOutcome, NodeFloodOutcome};
+use dimmer_sim::{
+    InterferenceModel, NodeId, RadioAccounting, RadioState, SimRng, SimTime, Topology,
+};
+
+/// Simulates Glossy floods over a fixed topology and interference
+/// environment.
+///
+/// The simulator is cheap to construct; it borrows the topology and the
+/// interference model, so one instance per experiment scenario is the normal
+/// usage pattern.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_glossy::{FloodSimulator, GlossyConfig};
+/// use dimmer_sim::{Topology, NoInterference, SimRng, SimTime, NodeId};
+/// let topo = Topology::line(5, 6.0, 3);
+/// let sim = FloodSimulator::new(&topo, &NoInterference);
+/// let out = sim.flood(&GlossyConfig::default(), NodeId(2), SimTime::ZERO, &mut SimRng::seed_from(0));
+/// assert_eq!(out.reach_count(), 5);
+/// ```
+#[derive(Debug)]
+pub struct FloodSimulator<'a> {
+    topology: &'a Topology,
+    interference: &'a dyn InterferenceModel,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    participating: bool,
+    has_packet: bool,
+    first_rx_slot: Option<u8>,
+    tx_remaining: u8,
+    next_tx_slot: Option<usize>,
+    relays: u8,
+    /// Relay slot index *after* which the node switched its radio off.
+    off_after_slot: Option<usize>,
+}
+
+impl<'a> FloodSimulator<'a> {
+    /// Creates a flood simulator for the given topology and interference
+    /// environment.
+    pub fn new(topology: &'a Topology, interference: &'a dyn InterferenceModel) -> Self {
+        FloodSimulator { topology, interference }
+    }
+
+    /// The topology this simulator floods over.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// Runs one flood in which every node participates.
+    pub fn flood(
+        &self,
+        cfg: &GlossyConfig,
+        initiator: NodeId,
+        start: SimTime,
+        rng: &mut SimRng,
+    ) -> FloodOutcome {
+        let participants = vec![true; self.topology.num_nodes()];
+        self.flood_with_participants(cfg, initiator, start, rng, &participants)
+    }
+
+    /// Runs one flood with an explicit participation mask (nodes that missed
+    /// the LWB schedule keep their radio off and are excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` does not cover every node, if the initiator
+    /// is out of range, or if the initiator is marked as not participating.
+    pub fn flood_with_participants(
+        &self,
+        cfg: &GlossyConfig,
+        initiator: NodeId,
+        start: SimTime,
+        rng: &mut SimRng,
+        participants: &[bool],
+    ) -> FloodOutcome {
+        let n = self.topology.num_nodes();
+        assert_eq!(participants.len(), n, "participation mask must cover every node");
+        assert!(initiator.index() < n, "initiator out of range");
+        assert!(participants[initiator.index()], "the initiator must participate in its own flood");
+
+        let slot_dur = cfg.relay_slot_duration();
+        let airtime = cfg.packet_airtime();
+        let max_slots = cfg.max_relay_slots().max(1);
+
+        let mut states: Vec<NodeState> = (0..n)
+            .map(|i| NodeState {
+                participating: participants[i],
+                has_packet: false,
+                first_rx_slot: None,
+                tx_remaining: 0,
+                next_tx_slot: None,
+                relays: 0,
+                off_after_slot: if participants[i] { None } else { Some(0) },
+            })
+            .collect();
+
+        // The initiator owns the packet from the start and always transmits
+        // at least once, even under N_TX = 0.
+        {
+            let init = &mut states[initiator.index()];
+            init.has_packet = true;
+            init.first_rx_slot = Some(0);
+            init.tx_remaining = cfg.ntx.for_node(initiator).max(1);
+            init.next_tx_slot = Some(0);
+        }
+
+        let mut last_active_slot = 0usize;
+        for slot in 0..max_slots {
+            let slot_start = start + slot_dur * slot as u64;
+
+            // Who transmits in this slot?
+            let transmitters: Vec<NodeId> = (0..n)
+                .map(|i| NodeId(i as u16))
+                .filter(|id| {
+                    let s = &states[id.index()];
+                    s.participating
+                        && s.off_after_slot.is_none()
+                        && s.next_tx_slot == Some(slot)
+                        && s.tx_remaining > 0
+                })
+                .collect();
+
+            let anyone_active = states
+                .iter()
+                .any(|s| s.participating && s.off_after_slot.is_none());
+            if !anyone_active {
+                break;
+            }
+            last_active_slot = slot;
+
+            // Receptions: every participating node that does not yet have the
+            // packet and is not transmitting listens in this slot.
+            if !transmitters.is_empty() {
+                let concurrency_factor = if transmitters.len() > 1 {
+                    (1.0 - cfg.concurrency_penalty * (transmitters.len() as f64 - 1.0)).max(0.5)
+                } else {
+                    1.0
+                };
+                for i in 0..n {
+                    let receiver = NodeId(i as u16);
+                    if transmitters.contains(&receiver) {
+                        continue;
+                    }
+                    let s = &states[i];
+                    if !s.participating || s.has_packet || s.off_after_slot.is_some() {
+                        continue;
+                    }
+                    let mut miss_all = 1.0;
+                    for &t in &transmitters {
+                        miss_all *= 1.0 - self.topology.link(t, receiver).prr();
+                    }
+                    let busy = self.interference.busy_fraction(
+                        slot_start,
+                        airtime.as_micros(),
+                        cfg.channel,
+                        self.topology.position(receiver),
+                    );
+                    let p = (1.0 - miss_all) * concurrency_factor * (1.0 - busy);
+                    if rng.chance(p) {
+                        let ntx = cfg.ntx.for_node(receiver);
+                        let st = &mut states[i];
+                        st.has_packet = true;
+                        st.first_rx_slot = Some(slot.min(u8::MAX as usize) as u8);
+                        st.tx_remaining = ntx;
+                        if ntx > 0 {
+                            st.next_tx_slot = Some(slot + 1);
+                        } else {
+                            // Passive receiver: radio off right after this slot.
+                            st.off_after_slot = Some(slot);
+                        }
+                    }
+                }
+            }
+
+            // Advance the transmitters' schedules.
+            for &t in &transmitters {
+                let st = &mut states[t.index()];
+                st.relays += 1;
+                st.tx_remaining -= 1;
+                if st.tx_remaining > 0 {
+                    st.next_tx_slot = Some(slot + 2);
+                } else {
+                    st.next_tx_slot = None;
+                    st.off_after_slot = Some(slot);
+                }
+            }
+        }
+
+        // Assemble per-node outcomes and radio accounting.
+        let per_node: Vec<NodeFloodOutcome> = states
+            .iter()
+            .map(|s| {
+                if !s.participating {
+                    return NodeFloodOutcome::not_participating();
+                }
+                let mut radio = RadioAccounting::new();
+                let on_time = match s.off_after_slot {
+                    Some(k) => (slot_dur * (k as u64 + 1)).min(cfg.max_slot_duration),
+                    // Never switched off: listened for the entire slot budget.
+                    None => cfg.max_slot_duration,
+                };
+                let tx_time = (airtime * s.relays as u64).min(on_time);
+                radio.record(RadioState::Tx, tx_time);
+                radio.record(RadioState::Rx, on_time.saturating_sub(tx_time));
+                NodeFloodOutcome {
+                    received: s.has_packet,
+                    first_rx_slot: s.first_rx_slot,
+                    relays: s.relays,
+                    radio,
+                    participated: true,
+                }
+            })
+            .collect();
+
+        let duration = (slot_dur * (last_active_slot as u64 + 1)).min(cfg.max_slot_duration);
+        FloodOutcome::new(initiator, per_node, duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NtxAssignment;
+    use dimmer_sim::{NoInterference, PeriodicJammer, Position, SimDuration};
+    use proptest::prelude::*;
+
+    fn calm_flood(topo: &Topology, cfg: &GlossyConfig, seed: u64) -> FloodOutcome {
+        let sim = FloodSimulator::new(topo, &NoInterference);
+        sim.flood(cfg, topo.coordinator(), SimTime::ZERO, &mut SimRng::seed_from(seed))
+    }
+
+    #[test]
+    fn calm_line_reaches_everyone() {
+        let topo = Topology::line(5, 6.0, 1);
+        let out = calm_flood(&topo, &GlossyConfig::default(), 1);
+        assert_eq!(out.reach_count(), 5);
+        assert!(out.reliability() > 0.999);
+    }
+
+    #[test]
+    fn calm_testbed_18_has_paper_level_reliability() {
+        let topo = Topology::kiel_testbed_18(2);
+        let mut received = 0usize;
+        let mut total = 0usize;
+        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let cfg = GlossyConfig::default();
+        let mut rng = SimRng::seed_from(99);
+        for _ in 0..50 {
+            let out = sim.flood(&cfg, topo.coordinator(), SimTime::ZERO, &mut rng);
+            received += out.reach_count();
+            total += topo.num_nodes();
+        }
+        let reliability = received as f64 / total as f64;
+        assert!(reliability > 0.99, "calm Glossy should be >99% reliable, got {reliability}");
+    }
+
+    #[test]
+    fn first_rx_slot_grows_with_hop_distance() {
+        let topo = Topology::line(4, 8.0, 3);
+        let out = calm_flood(&topo, &GlossyConfig::default(), 5);
+        let s1 = out.node(NodeId(1)).first_rx_slot.unwrap();
+        let s3 = out.node(NodeId(3)).first_rx_slot.unwrap();
+        assert!(s3 > s1, "farther nodes receive later ({s1} vs {s3})");
+    }
+
+    #[test]
+    fn relays_never_exceed_ntx() {
+        let topo = Topology::kiel_testbed_18(3);
+        for ntx in 0..=8u8 {
+            let cfg = GlossyConfig::with_uniform_ntx(ntx);
+            let out = calm_flood(&topo, &cfg, ntx as u64);
+            for (i, o) in out.per_node().iter().enumerate() {
+                let bound = if NodeId(i as u16) == out.initiator() { ntx.max(1) } else { ntx };
+                assert!(o.relays <= bound, "node {i} relayed {} times with N_TX={ntx}", o.relays);
+            }
+        }
+    }
+
+    #[test]
+    fn passive_receivers_spend_less_energy_and_never_relay() {
+        let topo = Topology::kiel_testbed_18(4);
+        let n = topo.num_nodes();
+        // Node 9 passive, everyone else at 3.
+        let mut per_node = vec![3u8; n];
+        per_node[9] = 0;
+        let cfg_passive = GlossyConfig::default().with_ntx(NtxAssignment::PerNode(per_node));
+        let cfg_active = GlossyConfig::default();
+        let mut on_passive = 0u64;
+        let mut on_active = 0u64;
+        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..30 {
+            let p = sim.flood(&cfg_passive, topo.coordinator(), SimTime::ZERO, &mut rng);
+            let a = sim.flood(&cfg_active, topo.coordinator(), SimTime::ZERO, &mut rng);
+            assert_eq!(p.node(NodeId(9)).relays, 0);
+            on_passive += p.node(NodeId(9)).radio.on_time().as_micros();
+            on_active += a.node(NodeId(9)).radio.on_time().as_micros();
+        }
+        assert!(
+            on_passive < on_active,
+            "passive receiver should save energy ({on_passive} vs {on_active})"
+        );
+    }
+
+    #[test]
+    fn higher_ntx_costs_more_radio_time_when_calm() {
+        let topo = Topology::kiel_testbed_18(5);
+        let low = calm_flood(&topo, &GlossyConfig::with_uniform_ntx(1), 7).mean_radio_on();
+        let high = calm_flood(&topo, &GlossyConfig::with_uniform_ntx(8), 7).mean_radio_on();
+        assert!(high > low, "N_TX=8 ({high}) should cost more than N_TX=1 ({low})");
+    }
+
+    #[test]
+    fn higher_ntx_improves_reliability_under_interference() {
+        let topo = Topology::kiel_testbed_18(6);
+        let jammers = PeriodicJammer::kiel_pair(0.30);
+        let mut comp = dimmer_sim::CompositeInterference::new();
+        for j in jammers {
+            comp.push(Box::new(j));
+        }
+        let sim = FloodSimulator::new(&topo, &comp);
+        let mut rel = [0.0f64; 2];
+        for (idx, ntx) in [1u8, 8u8].into_iter().enumerate() {
+            let cfg = GlossyConfig::with_uniform_ntx(ntx);
+            let mut rng = SimRng::seed_from(123);
+            let mut acc = 0.0;
+            let runs = 80;
+            for r in 0..runs {
+                // Advance the start time so floods sample different burst phases.
+                let start = SimTime::from_millis(r * 37);
+                acc += sim.flood(&cfg, topo.coordinator(), start, &mut rng).reliability();
+            }
+            rel[idx] = acc / runs as f64;
+        }
+        assert!(
+            rel[1] > rel[0] + 0.03,
+            "N_TX=8 ({}) should clearly beat N_TX=1 ({}) under 30% jamming",
+            rel[1],
+            rel[0]
+        );
+    }
+
+    #[test]
+    fn blanket_jamming_kills_the_flood() {
+        let topo = Topology::kiel_testbed_18(7);
+        let jam = PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 1.0)
+            .with_jam_radius(100.0);
+        let sim = FloodSimulator::new(&topo, &jam);
+        let out = sim.flood(
+            &GlossyConfig::default(),
+            topo.coordinator(),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(3),
+        );
+        assert_eq!(out.reach_count(), 1, "only the initiator should hold the packet");
+        // Every non-initiator keeps listening for the full 20 ms budget.
+        for (i, o) in out.per_node().iter().enumerate() {
+            if NodeId(i as u16) != out.initiator() {
+                assert_eq!(o.radio.on_time(), GlossyConfig::default().max_slot_duration);
+            }
+        }
+    }
+
+    #[test]
+    fn non_participants_stay_silent_and_cold() {
+        let topo = Topology::line(4, 6.0, 8);
+        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let participants = vec![true, true, false, true];
+        let out = sim.flood_with_participants(
+            &GlossyConfig::default(),
+            NodeId(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(2),
+            &participants,
+        );
+        let skipped = out.node(NodeId(2));
+        assert!(!skipped.participated);
+        assert!(!skipped.received);
+        assert_eq!(skipped.radio.on_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_outcomes() {
+        let topo = Topology::kiel_testbed_18(10);
+        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let cfg = GlossyConfig::default();
+        let a = sim.flood(&cfg, NodeId(4), SimTime::ZERO, &mut SimRng::seed_from(77));
+        let b = sim.flood(&cfg, NodeId(4), SimTime::ZERO, &mut SimRng::seed_from(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiator must participate")]
+    fn initiator_must_participate() {
+        let topo = Topology::line(3, 6.0, 1);
+        let sim = FloodSimulator::new(&topo, &NoInterference);
+        sim.flood_with_participants(
+            &GlossyConfig::default(),
+            NodeId(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+            &[false, true, true],
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_flood_invariants(seed in 0u64..500, ntx in 0u8..=8, initiator in 0u16..18) {
+            let topo = Topology::kiel_testbed_18(11);
+            let sim = FloodSimulator::new(&topo, &NoInterference);
+            let cfg = GlossyConfig::with_uniform_ntx(ntx);
+            let out = sim.flood(&cfg, NodeId(initiator), SimTime::ZERO, &mut SimRng::seed_from(seed));
+            prop_assert!((0.0..=1.0).contains(&out.reliability()));
+            prop_assert!(out.duration() <= cfg.max_slot_duration);
+            for (i, o) in out.per_node().iter().enumerate() {
+                prop_assert!(o.radio.on_time() <= cfg.max_slot_duration);
+                let bound = if i as u16 == initiator { ntx.max(1) } else { ntx };
+                prop_assert!(o.relays <= bound);
+                if o.received {
+                    prop_assert!(o.first_rx_slot.is_some());
+                }
+            }
+        }
+
+        #[test]
+        fn prop_radio_on_time_at_most_budget_under_jamming(seed in 0u64..200, duty_pct in 1u32..=60) {
+            let topo = Topology::kiel_testbed_18(12);
+            let jam = PeriodicJammer::with_duty_cycle(Position::new(10.0, 10.0), duty_pct as f64 / 100.0);
+            let sim = FloodSimulator::new(&topo, &jam);
+            let cfg = GlossyConfig::with_uniform_ntx(8);
+            let out = sim.flood(&cfg, topo.coordinator(), SimTime::ZERO, &mut SimRng::seed_from(seed));
+            for o in out.per_node() {
+                prop_assert!(o.radio.on_time() <= cfg.max_slot_duration);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Slot-based channel hopping.
+//!
+//! Dimmer uses a *static, global* hopping sequence for data slots while all
+//! control slots are executed on channel 26 (§IV-D). The sequence is indexed
+//! by an absolute slot counter so that all synchronized nodes agree on the
+//! channel without extra signalling.
+
+use dimmer_sim::Channel;
+
+/// A static channel-hopping sequence.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_lwb::HoppingSequence;
+/// use dimmer_sim::Channel;
+/// let seq = HoppingSequence::dimmer_default();
+/// assert_eq!(seq.control_channel(), Channel::CONTROL);
+/// // The sequence wraps around.
+/// assert_eq!(seq.data_channel(0), seq.data_channel(seq.len() as u64));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoppingSequence {
+    channels: Vec<Channel>,
+}
+
+impl HoppingSequence {
+    /// The default Dimmer hopping sequence: a spread of channels across the
+    /// 2.4 GHz band, avoiding adjacent-channel clustering.
+    pub fn dimmer_default() -> Self {
+        let indices = [26u8, 15, 25, 20, 11, 16, 21, 12];
+        HoppingSequence {
+            channels: indices
+                .iter()
+                .map(|&i| Channel::new(i).expect("hard-coded channels are valid"))
+                .collect(),
+        }
+    }
+
+    /// A degenerate "sequence" that always stays on one channel (used by the
+    /// single-channel LWB baseline).
+    pub fn single_channel(channel: Channel) -> Self {
+        HoppingSequence { channels: vec![channel] }
+    }
+
+    /// Builds a sequence from explicit channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty.
+    pub fn from_channels(channels: Vec<Channel>) -> Self {
+        assert!(!channels.is_empty(), "a hopping sequence needs at least one channel");
+        HoppingSequence { channels }
+    }
+
+    /// Number of channels in the sequence before it wraps.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Returns `true` if the sequence is empty (never constructible through
+    /// the public API; kept for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The channel used for control (schedule) slots: always channel 26.
+    pub fn control_channel(&self) -> Channel {
+        Channel::CONTROL
+    }
+
+    /// The channel used for the data slot with the given absolute slot
+    /// counter.
+    pub fn data_channel(&self, absolute_slot: u64) -> Channel {
+        self.channels[(absolute_slot % self.channels.len() as u64) as usize]
+    }
+
+    /// The distinct channels used by this sequence.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+}
+
+impl Default for HoppingSequence {
+    fn default() -> Self {
+        Self::dimmer_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_sequence_has_eight_distinct_channels() {
+        let seq = HoppingSequence::dimmer_default();
+        assert_eq!(seq.len(), 8);
+        let mut sorted: Vec<u8> = seq.channels().iter().map(|c| c.index()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "channels must be distinct");
+    }
+
+    #[test]
+    fn control_channel_is_26() {
+        assert_eq!(HoppingSequence::dimmer_default().control_channel().index(), 26);
+        assert_eq!(
+            HoppingSequence::single_channel(Channel::new(15).unwrap()).control_channel().index(),
+            26
+        );
+    }
+
+    #[test]
+    fn single_channel_never_hops() {
+        let seq = HoppingSequence::single_channel(Channel::CONTROL);
+        for slot in 0..50u64 {
+            assert_eq!(seq.data_channel(slot), Channel::CONTROL);
+        }
+    }
+
+    #[test]
+    fn sequence_wraps_around() {
+        let seq = HoppingSequence::dimmer_default();
+        for slot in 0..seq.len() as u64 {
+            assert_eq!(seq.data_channel(slot), seq.data_channel(slot + seq.len() as u64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_sequence_is_rejected() {
+        HoppingSequence::from_channels(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_data_channel_is_always_from_the_sequence(slot in 0u64..100_000) {
+            let seq = HoppingSequence::dimmer_default();
+            let ch = seq.data_channel(slot);
+            prop_assert!(seq.channels().contains(&ch));
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! A small fully-connected network with ReLU hidden layers, trained with
+//! stochastic gradient descent.
+//!
+//! This is the *offline* half of the paper's DQN: training happens in
+//! floating point on an unconstrained machine; the result is then quantized
+//! ([`crate::QuantizedNetwork`]) for execution on the coordinator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Activation function applied by a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit (hidden layers).
+    Relu,
+    /// Identity (output layer — Q-values are unbounded).
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Linear => x,
+        }
+    }
+
+    fn derivative(self, pre_activation: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if pre_activation > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// One fully-connected layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Row-major weights: `weights[o * inputs + i]`.
+    pub weights: Vec<f32>,
+    /// One bias per output neuron.
+    pub biases: Vec<f32>,
+    /// Number of inputs.
+    pub inputs: usize,
+    /// Number of outputs.
+    pub outputs: usize,
+    /// Activation applied to this layer's outputs.
+    pub activation: Activation,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        // He initialization, appropriate for ReLU networks.
+        let std = (2.0 / inputs as f32).sqrt();
+        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-std..std)).collect();
+        let biases = vec![0.0; outputs];
+        Layer { weights, biases, inputs, outputs, activation }
+    }
+
+    fn forward(&self, input: &[f32], pre: &mut Vec<f32>, out: &mut Vec<f32>) {
+        pre.clear();
+        out.clear();
+        for o in 0..self.outputs {
+            let mut acc = self.biases[o];
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            pre.push(acc);
+            out.push(self.activation.apply(acc));
+        }
+    }
+}
+
+/// A multi-layer perceptron with ReLU hidden layers and a linear output
+/// layer.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_neural::Mlp;
+/// // The paper's DQN: 31 inputs, one hidden layer of 30 ReLU units, 3 outputs.
+/// let net = Mlp::new(&[31, 30, 3], 7);
+/// assert_eq!(net.num_parameters(), 31 * 30 + 30 + 30 * 3 + 3);
+/// let q = net.forward(&vec![0.0; 31]);
+/// assert_eq!(q.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes (`sizes[0]` inputs,
+    /// `sizes.last()` outputs) and He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least an input and an output layer");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in 0..sizes.len() - 1 {
+            let activation =
+                if w + 2 == sizes.len() { Activation::Linear } else { Activation::Relu };
+            layers.push(Layer::new(sizes[w], sizes[w + 1], activation, &mut rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Builds a network directly from layers (used by [`crate::serialize`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive layer shapes do not match.
+    pub fn from_layers(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].outputs, pair[1].inputs, "layer shapes must chain");
+        }
+        Mlp { layers }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of inputs expected by the network.
+    pub fn num_inputs(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Number of outputs produced by the network.
+    pub fn num_outputs(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs
+    }
+
+    /// Total number of trainable parameters (weights + biases).
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match [`Mlp::num_inputs`].
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.num_inputs(), "input size mismatch");
+        let mut current = input.to_vec();
+        let mut pre = Vec::new();
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&current, &mut pre, &mut out);
+            current.clone_from(&out);
+        }
+        current
+    }
+
+    /// The index of the largest output (greedy action).
+    pub fn argmax(&self, input: &[f32]) -> usize {
+        let out = self.forward(input);
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// One SGD step on the squared error of a *single output*
+    /// (`output_index`), as used by Q-learning: only the chosen action's
+    /// Q-value is regressed towards `target`.
+    ///
+    /// Returns the squared error before the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input size or `output_index` is out of range.
+    pub fn train_single_output(
+        &mut self,
+        input: &[f32],
+        output_index: usize,
+        target: f32,
+        learning_rate: f32,
+    ) -> f32 {
+        assert_eq!(input.len(), self.num_inputs(), "input size mismatch");
+        assert!(output_index < self.num_outputs(), "output index out of range");
+
+        // Forward pass, keeping pre-activations and activations per layer.
+        let mut activations: Vec<Vec<f32>> = vec![input.to_vec()];
+        let mut pre_activations: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let mut pre = Vec::new();
+            let mut out = Vec::new();
+            layer.forward(activations.last().expect("non-empty"), &mut pre, &mut out);
+            pre_activations.push(pre);
+            activations.push(out);
+        }
+
+        let output = activations.last().expect("non-empty");
+        let error = output[output_index] - target;
+        let loss = error * error;
+
+        // Backward pass: delta on the output layer is non-zero only at
+        // `output_index`.
+        let mut delta: Vec<f32> = vec![0.0; self.num_outputs()];
+        delta[output_index] = 2.0 * error
+            * self
+                .layers
+                .last()
+                .expect("non-empty")
+                .activation
+                .derivative(pre_activations.last().expect("non-empty")[output_index]);
+
+        for l in (0..self.layers.len()).rev() {
+            let input_act = activations[l].clone();
+            // Compute the delta to propagate before mutating the layer.
+            let mut prev_delta = vec![0.0f32; self.layers[l].inputs];
+            {
+                let layer = &self.layers[l];
+                for o in 0..layer.outputs {
+                    if delta[o] == 0.0 {
+                        continue;
+                    }
+                    for i in 0..layer.inputs {
+                        prev_delta[i] += layer.weights[o * layer.inputs + i] * delta[o];
+                    }
+                }
+            }
+            // Gradient step.
+            {
+                let layer = &mut self.layers[l];
+                for o in 0..layer.outputs {
+                    if delta[o] == 0.0 {
+                        continue;
+                    }
+                    for i in 0..layer.inputs {
+                        layer.weights[o * layer.inputs + i] -=
+                            learning_rate * delta[o] * input_act[i];
+                    }
+                    layer.biases[o] -= learning_rate * delta[o];
+                }
+            }
+            if l > 0 {
+                // Apply the activation derivative of the previous layer.
+                for (i, d) in prev_delta.iter_mut().enumerate() {
+                    *d *= self.layers[l - 1].activation.derivative(pre_activations[l - 1][i]);
+                }
+            }
+            delta = prev_delta;
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_architecture_has_expected_parameter_count() {
+        let net = Mlp::new(&[31, 30, 3], 1);
+        // 31*30 + 30 biases + 30*3 + 3 biases = 1053 parameters.
+        assert_eq!(net.num_parameters(), 1053);
+        assert_eq!(net.num_inputs(), 31);
+        assert_eq!(net.num_outputs(), 3);
+    }
+
+    #[test]
+    fn forward_output_has_output_size() {
+        let net = Mlp::new(&[5, 8, 4], 3);
+        assert_eq!(net.forward(&[0.1, -0.2, 0.3, 0.0, 1.0]).len(), 4);
+    }
+
+    #[test]
+    fn same_seed_builds_identical_networks() {
+        let a = Mlp::new(&[6, 10, 2], 9);
+        let b = Mlp::new(&[6, 10, 2], 9);
+        assert_eq!(a, b);
+        let c = Mlp::new(&[6, 10, 2], 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn forward_rejects_wrong_input_size() {
+        let net = Mlp::new(&[4, 3, 2], 0);
+        net.forward(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn training_regresses_a_single_output_towards_target() {
+        let mut net = Mlp::new(&[3, 16, 3], 5);
+        let input = [0.5, -0.5, 1.0];
+        let target = 2.0;
+        let before = net.forward(&input);
+        for _ in 0..500 {
+            net.train_single_output(&input, 1, target, 0.01);
+        }
+        let after = net.forward(&input);
+        assert!(
+            (after[1] - target).abs() < 0.05,
+            "output 1 should approach {target}, got {}",
+            after[1]
+        );
+        // Untrained outputs should not have been dragged to the target too.
+        assert!((after[0] - target).abs() > (after[1] - target).abs());
+        let _ = before;
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_small_function_fit() {
+        // Fit q(x) for 4 discrete states and 2 actions: a tiny sanity task.
+        let states: Vec<Vec<f32>> =
+            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let targets = [[0.0, 1.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]];
+        let mut net = Mlp::new(&[2, 24, 2], 11);
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for epoch in 0..3000 {
+            let mut loss = 0.0;
+            for (s, t) in states.iter().zip(&targets) {
+                loss += net.train_single_output(s, 0, t[0], 0.02);
+                loss += net.train_single_output(s, 1, t[1], 0.02);
+            }
+            if epoch == 0 {
+                first_loss = loss;
+            }
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss * 0.05,
+            "training should shrink the loss ({first_loss} -> {last_loss})"
+        );
+        // The greedy action should match the target table.
+        assert_eq!(net.argmax(&states[0]), 1);
+        assert_eq!(net.argmax(&states[1]), 0);
+        assert_eq!(net.argmax(&states[2]), 0);
+        assert_eq!(net.argmax(&states[3]), 1);
+    }
+
+    #[test]
+    fn argmax_picks_the_largest_output() {
+        let net = Mlp::new(&[4, 6, 3], 2);
+        let input = [0.2, -0.7, 0.4, 0.9];
+        let out = net.forward(&input);
+        let best = net.argmax(&input);
+        for (i, v) in out.iter().enumerate() {
+            assert!(out[best] >= *v, "argmax {best} must dominate output {i}");
+        }
+    }
+
+    #[test]
+    fn from_layers_validates_shapes() {
+        let a = Mlp::new(&[3, 4, 2], 1);
+        let rebuilt = Mlp::from_layers(a.layers().to_vec());
+        assert_eq!(a, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer shapes must chain")]
+    fn from_layers_rejects_mismatched_shapes() {
+        let a = Mlp::new(&[3, 4, 2], 1);
+        let b = Mlp::new(&[5, 7, 2], 1);
+        Mlp::from_layers(vec![a.layers()[0].clone(), b.layers()[1].clone()]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_forward_is_finite(seed in 0u64..100, input in proptest::collection::vec(-1.0f32..1.0, 5)) {
+            let net = Mlp::new(&[5, 12, 3], seed);
+            for v in net.forward(&input) {
+                prop_assert!(v.is_finite());
+            }
+        }
+
+        #[test]
+        fn prop_argmax_in_range(seed in 0u64..100, input in proptest::collection::vec(-1.0f32..1.0, 7)) {
+            let net = Mlp::new(&[7, 9, 4], seed);
+            prop_assert!(net.argmax(&input) < 4);
+        }
+    }
+}

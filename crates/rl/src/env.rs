@@ -1,0 +1,179 @@
+//! The environment abstraction consumed by the DQN trainer.
+
+use rand::rngs::StdRng;
+
+/// The result of taking one action in an [`Environment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The state observed after the action.
+    pub next_state: Vec<f32>,
+    /// The immediate reward.
+    pub reward: f32,
+    /// Whether the episode ended with this transition.
+    pub done: bool,
+}
+
+/// A Markov decision process the agent can interact with.
+///
+/// Dimmer's training environment replays recorded traces (`dimmer-traces`),
+/// but the trait is generic so tests can plug in synthetic MDPs.
+pub trait Environment {
+    /// Dimensionality of the state vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+
+    /// Starts a new episode and returns the initial state.
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f32>;
+
+    /// Applies `action` and returns the resulting transition.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()`.
+    fn step(&mut self, action: usize, rng: &mut StdRng) -> Step;
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    //! Small synthetic environments used by the crate's unit tests.
+
+    use super::*;
+    use rand::Rng;
+
+    /// A contextual bandit: the state is a one-hot context of size `n`, and
+    /// the rewarded action equals the context index. Episodes last one step.
+    #[derive(Debug, Clone)]
+    pub struct ContextualBandit {
+        pub contexts: usize,
+        current: usize,
+    }
+
+    impl ContextualBandit {
+        pub fn new(contexts: usize) -> Self {
+            ContextualBandit { contexts, current: 0 }
+        }
+
+        fn encode(&self) -> Vec<f32> {
+            let mut v = vec![0.0; self.contexts];
+            v[self.current] = 1.0;
+            v
+        }
+    }
+
+    impl Environment for ContextualBandit {
+        fn state_dim(&self) -> usize {
+            self.contexts
+        }
+        fn num_actions(&self) -> usize {
+            self.contexts
+        }
+        fn reset(&mut self, rng: &mut StdRng) -> Vec<f32> {
+            self.current = rng.gen_range(0..self.contexts);
+            self.encode()
+        }
+        fn step(&mut self, action: usize, rng: &mut StdRng) -> Step {
+            assert!(action < self.contexts);
+            let reward = if action == self.current { 1.0 } else { 0.0 };
+            self.current = rng.gen_range(0..self.contexts);
+            Step { next_state: self.encode(), reward, done: true }
+        }
+    }
+
+    /// A deterministic 1-D chain of `n` cells: action 1 moves right, action 0
+    /// moves left; reaching the right end yields +1 and terminates, so the
+    /// optimal policy is "always move right" and requires credit assignment
+    /// across several steps.
+    #[derive(Debug, Clone)]
+    pub struct ChainWalk {
+        pub length: usize,
+        position: usize,
+        steps: usize,
+    }
+
+    impl ChainWalk {
+        pub fn new(length: usize) -> Self {
+            ChainWalk { length, position: 0, steps: 0 }
+        }
+
+        fn encode(&self) -> Vec<f32> {
+            let mut v = vec![0.0; self.length];
+            v[self.position] = 1.0;
+            v
+        }
+    }
+
+    impl Environment for ChainWalk {
+        fn state_dim(&self) -> usize {
+            self.length
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self, _rng: &mut StdRng) -> Vec<f32> {
+            self.position = 0;
+            self.steps = 0;
+            self.encode()
+        }
+        fn step(&mut self, action: usize, _rng: &mut StdRng) -> Step {
+            assert!(action < 2);
+            self.steps += 1;
+            if action == 1 {
+                self.position = (self.position + 1).min(self.length - 1);
+            } else {
+                self.position = self.position.saturating_sub(1);
+            }
+            let done = self.position == self.length - 1 || self.steps >= 4 * self.length;
+            let reward = if self.position == self.length - 1 { 1.0 } else { -0.01 };
+            Step { next_state: self.encode(), reward, done }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_envs::*;
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contextual_bandit_rewards_matching_action() {
+        let mut env = ContextualBandit::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let state = env.reset(&mut rng);
+        let context = state.iter().position(|&x| x == 1.0).unwrap();
+        let step = env.step(context, &mut rng);
+        assert_eq!(step.reward, 1.0);
+        assert!(step.done);
+    }
+
+    #[test]
+    fn chain_walk_reaches_goal_with_right_moves() {
+        let mut env = ChainWalk::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        let mut last = Step { next_state: vec![], reward: 0.0, done: false };
+        for _ in 0..4 {
+            last = env.step(1, &mut rng);
+        }
+        assert!(last.done);
+        assert_eq!(last.reward, 1.0);
+    }
+
+    #[test]
+    fn chain_walk_times_out_when_moving_left() {
+        let mut env = ChainWalk::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        env.reset(&mut rng);
+        let mut steps = 0;
+        loop {
+            let s = env.step(0, &mut rng);
+            steps += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 16, "episode must terminate via the step limit");
+    }
+}

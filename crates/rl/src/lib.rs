@@ -1,0 +1,46 @@
+//! # dimmer-rl — reinforcement-learning algorithms for Dimmer
+//!
+//! Dimmer frames self-adaptivity as *two* RL problems (§IV-A):
+//!
+//! 1. **Central adaptivity** — a deep Q-network executed by the coordinator
+//!    chooses between *decrease / maintain / increase* for the global Glossy
+//!    retransmission parameter `N_TX`. It is trained **offline** from
+//!    unlabeled traces with experience replay, a target network, an
+//!    epsilon-greedy policy annealed from 1.0 to 0.01, and a discount factor
+//!    of 0.7 ([`DqnTrainer`], [`DqnConfig`]).
+//! 2. **Distributed forwarder selection** — each device runs an *adversarial*
+//!    two-armed bandit (Exp3, Auer et al. 2002) at runtime to learn whether
+//!    it can become a passive receiver ([`Exp3`]).
+//!
+//! The [`Environment`] trait is the interface between the trainer and the
+//! trace-based training environment provided by `dimmer-traces`.
+//!
+//! ## Example: Exp3 in an adversarial bandit
+//!
+//! ```
+//! use dimmer_rl::Exp3;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut bandit = Exp3::new(2, 0.1);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! for _ in 0..300 {
+//!     let (arm, prob) = bandit.select_arm(&mut rng);
+//!     let reward = if arm == 1 { 1.0 } else { 0.0 };
+//!     bandit.update(arm, reward, prob);
+//! }
+//! assert!(bandit.probabilities()[1] > 0.7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dqn;
+pub mod env;
+pub mod exp3;
+pub mod replay;
+
+pub use dqn::{DqnConfig, DqnTrainer};
+pub use env::{Environment, Step};
+pub use exp3::Exp3;
+pub use replay::{ReplayBuffer, Transition};

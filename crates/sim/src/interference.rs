@@ -1,0 +1,681 @@
+//! Interference models: controlled 802.15.4 jammers, WiFi-style wide-band
+//! interference, and composite / time-scheduled scenarios.
+//!
+//! The paper evaluates Dimmer against
+//!
+//! * **JamLab-style 802.15.4 jammers** emitting 13 ms bursts at 0 dBm whose
+//!   period controls the interference ratio (10 % = one burst every 130 ms,
+//!   35 % = every 37 ms) — modelled by [`PeriodicJammer`];
+//! * **D-Cube WiFi interference** at two intensity levels — modelled by
+//!   [`WifiInterference`] with [`WifiLevel::Level1`] / [`WifiLevel::Level2`];
+//! * **dynamic scenarios** where jammers are switched on and off over a
+//!   25-minute experiment (Fig. 4c/4d) — modelled by
+//!   [`ScheduledInterference`].
+//!
+//! All models answer one question: *which fraction of a given time interval,
+//! on a given channel, at a given receiver position, is corrupted by
+//! interference?* ([`InterferenceModel::busy_fraction`]). The Glossy flood
+//! simulation multiplies per-link reception probabilities by
+//! `1 − busy_fraction` for each packet it delivers.
+
+use crate::radio::Channel;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Position;
+use std::fmt::Debug;
+
+/// The duration of one interference burst used throughout the paper (13 ms),
+/// corresponding to a typical WiFi packet burst.
+pub const BURST_DURATION: SimDuration = SimDuration::from_millis(13);
+
+/// A source of interference observed by receivers.
+///
+/// Implementations must be deterministic functions of their parameters and of
+/// simulated time so that experiments are reproducible.
+pub trait InterferenceModel: Debug {
+    /// Returns the fraction (`0..=1`) of the interval
+    /// `[start, start + duration)` during which reception at position `at` on
+    /// `channel` is corrupted by this interference source.
+    fn busy_fraction(
+        &self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        at: Position,
+    ) -> f64;
+
+    /// Returns `true` if the source can emit any energy at time `t`
+    /// (irrespective of channel or position). Used by tests and scenario
+    /// sanity checks; the default is `true`.
+    fn is_active(&self, _t: SimTime) -> bool {
+        true
+    }
+}
+
+/// The absence of interference.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_sim::{NoInterference, InterferenceModel, SimTime, Channel, Position};
+/// let none = NoInterference;
+/// assert_eq!(none.busy_fraction(SimTime::ZERO, 1_000, Channel::CONTROL, Position::new(0.0, 0.0)), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoInterference;
+
+impl InterferenceModel for NoInterference {
+    fn busy_fraction(&self, _: SimTime, _: u64, _: Channel, _: Position) -> f64 {
+        0.0
+    }
+    fn is_active(&self, _: SimTime) -> bool {
+        false
+    }
+}
+
+/// A JamLab-style 802.15.4 jammer emitting periodic bursts on a set of
+/// channels from a fixed position.
+///
+/// Each burst lasts [`BURST_DURATION`] (13 ms). The *interference ratio*
+/// (duty cycle) is `burst / period`. The jammer's effect decays with distance
+/// from the jammer: receivers within [`PeriodicJammer::jam_radius_m`] are
+/// fully corrupted during a burst, beyond that the corruption probability
+/// falls off smoothly (the paper's coordinator is only "moderately perturbed"
+/// by its nearest jammer).
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_sim::{PeriodicJammer, InterferenceModel, SimTime, Channel, Position};
+/// // 30 % duty cycle: 13 ms burst every ~43 ms (as in Fig. 4c).
+/// let j = PeriodicJammer::with_duty_cycle(Position::new(5.0, 10.0), 0.30);
+/// assert!((j.duty_cycle() - 0.30).abs() < 0.01);
+/// let f = j.busy_fraction(SimTime::ZERO, 43_000, Channel::CONTROL, Position::new(5.0, 11.0));
+/// assert!(f > 0.25 && f < 0.35);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicJammer {
+    position: Position,
+    burst: SimDuration,
+    period: SimDuration,
+    /// Distance within which a burst corrupts reception with probability ~1.
+    pub jam_radius_m: f64,
+    /// Channels affected; `None` means all 16 channels (wideband jammer).
+    channels: Option<Vec<Channel>>,
+    /// Phase offset of the first burst within the period.
+    phase: SimDuration,
+}
+
+impl PeriodicJammer {
+    /// Creates a jammer with an explicit burst length and period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or shorter than `burst`.
+    pub fn new(position: Position, burst: SimDuration, period: SimDuration) -> Self {
+        assert!(period.as_micros() > 0, "jammer period must be positive");
+        assert!(burst <= period, "burst must fit within the period");
+        PeriodicJammer {
+            position,
+            burst,
+            period,
+            jam_radius_m: 12.0,
+            channels: None,
+            phase: SimDuration::ZERO,
+        }
+    }
+
+    /// Creates a jammer producing 13 ms bursts at the given duty cycle
+    /// (`0 < duty_cycle <= 1`), matching the paper's interference-ratio
+    /// definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty_cycle` is not in `(0, 1]`.
+    pub fn with_duty_cycle(position: Position, duty_cycle: f64) -> Self {
+        assert!(duty_cycle > 0.0 && duty_cycle <= 1.0, "duty cycle must be in (0, 1]");
+        let period_us = (BURST_DURATION.as_micros() as f64 / duty_cycle).round() as u64;
+        Self::new(position, BURST_DURATION, SimDuration::from_micros(period_us))
+    }
+
+    /// Restricts the jammer to a set of channels (e.g. only channel 26, as in
+    /// the paper's controlled experiments).
+    pub fn on_channels(mut self, channels: Vec<Channel>) -> Self {
+        self.channels = Some(channels);
+        self
+    }
+
+    /// Sets the phase offset of the burst train.
+    pub fn with_phase(mut self, phase: SimDuration) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the full-corruption radius in meters.
+    pub fn with_jam_radius(mut self, radius_m: f64) -> Self {
+        self.jam_radius_m = radius_m;
+        self
+    }
+
+    /// The jammer's duty cycle (burst / period).
+    pub fn duty_cycle(&self) -> f64 {
+        self.burst.as_micros() as f64 / self.period.as_micros() as f64
+    }
+
+    /// The jammer position.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// The two-jammer configuration used on the 18-node testbed (Fig. 4a):
+    /// one jammer near the coordinator's side of the floor, one near the
+    /// middle, both at the given duty cycle, restricted to channel 26.
+    pub fn kiel_pair(duty_cycle: f64) -> Vec<PeriodicJammer> {
+        vec![
+            PeriodicJammer::with_duty_cycle(Position::new(5.0, 9.0), duty_cycle)
+                .on_channels(vec![Channel::CONTROL]),
+            PeriodicJammer::with_duty_cycle(Position::new(16.0, 16.0), duty_cycle)
+                .on_channels(vec![Channel::CONTROL])
+                .with_phase(SimDuration::from_millis(7)),
+        ]
+    }
+
+    /// Corruption strength (`0..=1`) experienced at distance `d` from the
+    /// jammer while a burst is on the air.
+    fn strength_at(&self, at: Position) -> f64 {
+        let d = self.position.distance_to(at);
+        // Smooth roll-off: ~1 inside the jam radius, ~0.5 at 1.35x the radius,
+        // negligible beyond ~2.5x the radius.
+        1.0 / (1.0 + (d / self.jam_radius_m).powi(6))
+    }
+
+    fn affects_channel(&self, channel: Channel) -> bool {
+        match &self.channels {
+            None => true,
+            Some(list) => list.contains(&channel),
+        }
+    }
+
+    /// Fraction of `[start, start+duration)` covered by bursts, ignoring
+    /// channel and position.
+    fn burst_overlap_fraction(&self, start: SimTime, duration_us: u64) -> f64 {
+        if duration_us == 0 {
+            return 0.0;
+        }
+        let period = self.period.as_micros();
+        let burst = self.burst.as_micros();
+        let phase = self.phase.as_micros() % period;
+        let s = start.as_micros();
+        let e = s + duration_us;
+        // Sum the overlap with every burst window [k*period + phase, +burst).
+        let first_k = s.saturating_sub(phase).saturating_sub(burst) / period;
+        let mut covered = 0u64;
+        let mut k = first_k;
+        loop {
+            let b_start = k * period + phase;
+            if b_start >= e {
+                break;
+            }
+            let b_end = b_start + burst;
+            let lo = b_start.max(s);
+            let hi = b_end.min(e);
+            if hi > lo {
+                covered += hi - lo;
+            }
+            k += 1;
+        }
+        covered as f64 / duration_us as f64
+    }
+}
+
+impl InterferenceModel for PeriodicJammer {
+    fn busy_fraction(
+        &self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        at: Position,
+    ) -> f64 {
+        if !self.affects_channel(channel) {
+            return 0.0;
+        }
+        let overlap = self.burst_overlap_fraction(start, duration_us);
+        (overlap * self.strength_at(at)).clamp(0.0, 1.0)
+    }
+}
+
+/// Intensity of the D-Cube WiFi interference scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WifiLevel {
+    /// D-Cube "WiFi level 1": moderate interference.
+    Level1,
+    /// D-Cube "WiFi level 2": strong interference (the paper's headline
+    /// 95.8 %-reliability scenario).
+    Level2,
+}
+
+impl WifiLevel {
+    /// Average fraction of air time occupied by WiFi traffic at this level.
+    pub fn duty_cycle(self) -> f64 {
+        match self {
+            WifiLevel::Level1 => 0.30,
+            WifiLevel::Level2 => 0.55,
+        }
+    }
+}
+
+/// Wide-band, bursty WiFi-style interference covering the whole deployment.
+///
+/// Time is divided into frames of [`WifiInterference::FRAME`] length; each
+/// frame is independently busy with a probability derived from the level's
+/// duty cycle and a per-channel susceptibility factor (different 802.15.4
+/// channels overlap the active WiFi channels to different degrees). The busy
+/// pattern is a deterministic hash of `(frame index, channel, seed)`, so runs
+/// are reproducible while different seeds give different realizations.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_sim::{WifiInterference, WifiLevel, InterferenceModel, SimTime, Channel, Position};
+/// let wifi = WifiInterference::new(WifiLevel::Level2, 1);
+/// let f = wifi.busy_fraction(SimTime::ZERO, 1_000_000, Channel::new(20).unwrap(), Position::new(0.0, 0.0));
+/// assert!(f > 0.2 && f < 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WifiInterference {
+    level: WifiLevel,
+    seed: u64,
+}
+
+impl WifiInterference {
+    /// Length of one busy/idle decision frame.
+    pub const FRAME: SimDuration = SimDuration::from_millis(4);
+
+    /// Creates a WiFi interference source with the given level and seed.
+    pub fn new(level: WifiLevel, seed: u64) -> Self {
+        WifiInterference { level, seed }
+    }
+
+    /// The interference level.
+    pub fn level(&self) -> WifiLevel {
+        self.level
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Per-channel susceptibility in `[0.55, 1.0]`: every channel is affected
+    /// (the D-Cube generators sweep the band), but not equally.
+    fn channel_factor(&self, channel: Channel) -> f64 {
+        let h = Self::splitmix(self.seed ^ (channel.index() as u64) << 32 ^ 0xC0FFEE);
+        0.55 + 0.45 * ((h >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    fn frame_busy(&self, frame_index: u64, channel: Channel) -> bool {
+        let h = Self::splitmix(
+            self.seed ^ frame_index.wrapping_mul(0x517C_C1B7_2722_0A95) ^ (channel.index() as u64),
+        );
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.level.duty_cycle() * self.channel_factor(channel)
+    }
+}
+
+impl InterferenceModel for WifiInterference {
+    fn busy_fraction(
+        &self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        _at: Position,
+    ) -> f64 {
+        if duration_us == 0 {
+            return 0.0;
+        }
+        let frame = Self::FRAME.as_micros();
+        let s = start.as_micros();
+        let e = s + duration_us;
+        let mut covered = 0u64;
+        let mut f = s / frame;
+        loop {
+            let f_start = f * frame;
+            if f_start >= e {
+                break;
+            }
+            let f_end = f_start + frame;
+            if self.frame_busy(f, channel) {
+                let lo = f_start.max(s);
+                let hi = f_end.min(e);
+                covered += hi - lo;
+            }
+            f += 1;
+        }
+        covered as f64 / duration_us as f64
+    }
+}
+
+/// Several interference sources active at the same time.
+///
+/// The combined corruption probability is
+/// `1 − Π (1 − fᵢ)` over the member sources.
+#[derive(Debug, Default)]
+pub struct CompositeInterference {
+    sources: Vec<Box<dyn InterferenceModel>>,
+}
+
+impl CompositeInterference {
+    /// Creates an empty composite (equivalent to [`NoInterference`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source.
+    pub fn push(&mut self, source: Box<dyn InterferenceModel>) {
+        self.sources.push(source);
+    }
+
+    /// Builds a composite from a vector of sources.
+    pub fn from_sources(sources: Vec<Box<dyn InterferenceModel>>) -> Self {
+        CompositeInterference { sources }
+    }
+
+    /// Number of member sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Returns `true` if the composite has no member sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+impl InterferenceModel for CompositeInterference {
+    fn busy_fraction(
+        &self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        at: Position,
+    ) -> f64 {
+        let mut clear = 1.0;
+        for s in &self.sources {
+            clear *= 1.0 - s.busy_fraction(start, duration_us, channel, at).clamp(0.0, 1.0);
+        }
+        1.0 - clear
+    }
+
+    fn is_active(&self, t: SimTime) -> bool {
+        self.sources.iter().any(|s| s.is_active(t))
+    }
+}
+
+/// An interference source that is only active during a set of time windows.
+///
+/// Used to express dynamic scenarios such as Fig. 4c: calm for 7 minutes,
+/// then 30 % jamming for 5 minutes, calm again, then 5 % jamming, then calm.
+#[derive(Debug)]
+pub struct ScheduledInterference {
+    windows: Vec<(SimTime, SimTime, Box<dyn InterferenceModel>)>,
+}
+
+impl ScheduledInterference {
+    /// Creates an empty schedule (no interference at any time).
+    pub fn new() -> Self {
+        ScheduledInterference { windows: Vec::new() }
+    }
+
+    /// Adds an interference source active during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn add_window(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        source: Box<dyn InterferenceModel>,
+    ) -> &mut Self {
+        assert!(until > from, "interference window must have positive length");
+        self.windows.push((from, until, source));
+        self
+    }
+
+    /// Number of scheduled windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Returns `true` if no windows are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+impl Default for ScheduledInterference {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InterferenceModel for ScheduledInterference {
+    fn busy_fraction(
+        &self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        at: Position,
+    ) -> f64 {
+        let end = start + SimDuration::from_micros(duration_us);
+        let mut clear = 1.0;
+        for (from, until, source) in &self.windows {
+            // Clip the query interval to the window.
+            let lo = start.max(*from);
+            let hi = end.min(*until);
+            if hi <= lo {
+                continue;
+            }
+            let clipped_us = (hi - lo).as_micros();
+            let f = source.busy_fraction(lo, clipped_us, channel, at)
+                * (clipped_us as f64 / duration_us.max(1) as f64);
+            clear *= 1.0 - f.clamp(0.0, 1.0);
+        }
+        1.0 - clear
+    }
+
+    fn is_active(&self, t: SimTime) -> bool {
+        self.windows.iter().any(|(from, until, s)| t >= *from && t < *until && s.is_active(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn here() -> Position {
+        Position::new(5.0, 9.5)
+    }
+
+    #[test]
+    fn no_interference_is_always_zero() {
+        let n = NoInterference;
+        assert_eq!(n.busy_fraction(SimTime::from_secs(5), 20_000, Channel::CONTROL, here()), 0.0);
+        assert!(!n.is_active(SimTime::ZERO));
+    }
+
+    #[test]
+    fn jammer_duty_cycle_matches_paper_examples() {
+        // 10% interference = 13 ms burst every 130 ms.
+        let j = PeriodicJammer::with_duty_cycle(here(), 0.10);
+        assert_eq!(j.duty_cycle(), 0.10);
+        // 35% interference = 13 ms burst every ~37 ms.
+        let j = PeriodicJammer::with_duty_cycle(here(), 0.35);
+        assert!((j.duty_cycle() - 0.35).abs() < 0.01);
+    }
+
+    #[test]
+    fn jammer_long_interval_overlap_converges_to_duty_cycle() {
+        let j = PeriodicJammer::with_duty_cycle(here(), 0.30);
+        let f = j.busy_fraction(SimTime::ZERO, 10_000_000, Channel::CONTROL, here());
+        assert!((f - 0.30).abs() < 0.02, "got {f}");
+    }
+
+    #[test]
+    fn jammer_burst_fully_covers_short_interval_inside_burst() {
+        let j = PeriodicJammer::with_duty_cycle(here(), 0.30);
+        // 1 ms packet right at the start of a burst, receiver next to jammer.
+        let f = j.busy_fraction(SimTime::from_millis(1), 1_000, Channel::CONTROL, here());
+        assert!(f > 0.95, "got {f}");
+        // 1 ms packet in the silent part of the period.
+        let f = j.busy_fraction(SimTime::from_millis(20), 1_000, Channel::CONTROL, here());
+        assert!(f < 0.05, "got {f}");
+    }
+
+    #[test]
+    fn jammer_effect_decays_with_distance() {
+        let j = PeriodicJammer::with_duty_cycle(Position::new(0.0, 0.0), 1.0);
+        let near = j.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, Position::new(1.0, 0.0));
+        let mid = j.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, Position::new(14.0, 0.0));
+        let far = j.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, Position::new(40.0, 0.0));
+        assert!(near > 0.9);
+        assert!(mid < near && mid > far);
+        assert!(far < 0.05);
+    }
+
+    #[test]
+    fn jammer_channel_restriction() {
+        let j = PeriodicJammer::with_duty_cycle(here(), 0.5).on_channels(vec![Channel::CONTROL]);
+        let on = j.busy_fraction(SimTime::ZERO, 100_000, Channel::CONTROL, here());
+        let off = j.busy_fraction(SimTime::ZERO, 100_000, Channel::new(15).unwrap(), here());
+        assert!(on > 0.3);
+        assert_eq!(off, 0.0);
+    }
+
+    #[test]
+    fn kiel_pair_builds_two_jammers_on_channel_26() {
+        let pair = PeriodicJammer::kiel_pair(0.30);
+        assert_eq!(pair.len(), 2);
+        for j in &pair {
+            assert!((j.duty_cycle() - 0.30).abs() < 0.01);
+            assert_eq!(j.busy_fraction(SimTime::ZERO, 50_000, Channel::new(12).unwrap(), here()), 0.0);
+        }
+    }
+
+    #[test]
+    fn wifi_levels_are_ordered() {
+        let pos = Position::new(10.0, 10.0);
+        let ch = Channel::new(20).unwrap();
+        let l1 = WifiInterference::new(WifiLevel::Level1, 3);
+        let l2 = WifiInterference::new(WifiLevel::Level2, 3);
+        let f1 = l1.busy_fraction(SimTime::ZERO, 5_000_000, ch, pos);
+        let f2 = l2.busy_fraction(SimTime::ZERO, 5_000_000, ch, pos);
+        assert!(f2 > f1, "level 2 ({f2}) must exceed level 1 ({f1})");
+        assert!(f1 > 0.1 && f2 < 0.9);
+    }
+
+    #[test]
+    fn wifi_affects_every_channel() {
+        let wifi = WifiInterference::new(WifiLevel::Level2, 9);
+        for ch in Channel::all() {
+            let f = wifi.busy_fraction(SimTime::ZERO, 2_000_000, ch, here());
+            assert!(f > 0.1, "channel {ch} unexpectedly clean ({f})");
+        }
+    }
+
+    #[test]
+    fn wifi_is_deterministic_per_seed() {
+        let a = WifiInterference::new(WifiLevel::Level1, 42);
+        let b = WifiInterference::new(WifiLevel::Level1, 42);
+        let c = WifiInterference::new(WifiLevel::Level1, 43);
+        let ch = Channel::new(17).unwrap();
+        let fa = a.busy_fraction(SimTime::from_millis(123), 20_000, ch, here());
+        let fb = b.busy_fraction(SimTime::from_millis(123), 20_000, ch, here());
+        let fc = c.busy_fraction(SimTime::from_millis(123), 20_000, ch, here());
+        assert_eq!(fa, fb);
+        assert_ne!(fa, fc);
+    }
+
+    #[test]
+    fn composite_combines_sources() {
+        let mut comp = CompositeInterference::new();
+        assert!(comp.is_empty());
+        comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 0.3)));
+        comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 0.3).with_phase(SimDuration::from_millis(20))));
+        assert_eq!(comp.len(), 2);
+        let f = comp.busy_fraction(SimTime::ZERO, 1_000_000, Channel::CONTROL, here());
+        let single = PeriodicJammer::with_duty_cycle(here(), 0.3)
+            .busy_fraction(SimTime::ZERO, 1_000_000, Channel::CONTROL, here());
+        assert!(f > single, "two sources must corrupt more than one");
+        assert!(f <= 1.0);
+    }
+
+    #[test]
+    fn scheduled_interference_only_in_window() {
+        let mut sched = ScheduledInterference::new();
+        sched.add_window(
+            SimTime::from_secs(60),
+            SimTime::from_secs(120),
+            Box::new(PeriodicJammer::with_duty_cycle(here(), 1.0)),
+        );
+        let before = sched.busy_fraction(SimTime::from_secs(10), 20_000, Channel::CONTROL, here());
+        let during = sched.busy_fraction(SimTime::from_secs(90), 20_000, Channel::CONTROL, here());
+        let after = sched.busy_fraction(SimTime::from_secs(200), 20_000, Channel::CONTROL, here());
+        assert_eq!(before, 0.0);
+        assert!(during > 0.9);
+        assert_eq!(after, 0.0);
+        assert!(sched.is_active(SimTime::from_secs(90)));
+        assert!(!sched.is_active(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn scheduled_interference_partial_window_overlap() {
+        let mut sched = ScheduledInterference::new();
+        sched.add_window(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+            Box::new(PeriodicJammer::with_duty_cycle(here(), 1.0)),
+        );
+        // Query 0..20ms: only the second half overlaps the window.
+        let f = sched.busy_fraction(SimTime::ZERO, 20_000, Channel::CONTROL, here());
+        assert!((f - 0.5).abs() < 0.1, "got {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn scheduled_window_rejects_empty_range() {
+        let mut sched = ScheduledInterference::new();
+        sched.add_window(SimTime::from_secs(5), SimTime::from_secs(5), Box::new(NoInterference));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jammer_fraction_is_probability(duty in 0.01f64..1.0, start_ms in 0u64..100_000, dur in 1u64..100_000, x in 0.0f64..50.0) {
+            let j = PeriodicJammer::with_duty_cycle(Position::new(10.0, 10.0), duty);
+            let f = j.busy_fraction(SimTime::from_millis(start_ms), dur, Channel::CONTROL, Position::new(x, 0.0));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn prop_wifi_fraction_is_probability(seed in 0u64..500, start_ms in 0u64..100_000, dur in 1u64..200_000, ch in 11u8..=26) {
+            let wifi = WifiInterference::new(WifiLevel::Level2, seed);
+            let f = wifi.busy_fraction(SimTime::from_millis(start_ms), dur, Channel::new(ch).unwrap(), Position::new(0.0, 0.0));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn prop_composite_at_least_as_bad_as_each_member(duty_a in 0.05f64..0.6, duty_b in 0.05f64..0.6, start_ms in 0u64..10_000) {
+            let pos = Position::new(3.0, 3.0);
+            let a = PeriodicJammer::with_duty_cycle(pos, duty_a);
+            let b = PeriodicJammer::with_duty_cycle(pos, duty_b).with_phase(SimDuration::from_millis(5));
+            let fa = a.busy_fraction(SimTime::from_millis(start_ms), 50_000, Channel::CONTROL, pos);
+            let fb = b.busy_fraction(SimTime::from_millis(start_ms), 50_000, Channel::CONTROL, pos);
+            let comp = CompositeInterference::from_sources(vec![Box::new(a), Box::new(b)]);
+            let fc = comp.busy_fraction(SimTime::from_millis(start_ms), 50_000, Channel::CONTROL, pos);
+            prop_assert!(fc >= fa - 1e-9 && fc >= fb - 1e-9);
+            prop_assert!(fc <= 1.0 + 1e-9);
+        }
+    }
+}

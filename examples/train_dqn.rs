@@ -1,0 +1,45 @@
+//! The offline training pipeline: collect traces on the 18-node testbed,
+//! train the DQN with experience replay, quantize it, and write the weights
+//! to `crates/core/data/pretrained_dqn.txt` so that
+//! `dimmer_core::pretrained::pretrained_policy()` picks them up.
+//!
+//! ```text
+//! cargo run --release -p dimmer-examples --bin train_dqn [-- --quick]
+//! ```
+
+use dimmer_core::DimmerConfig;
+use dimmer_neural::serialize::to_text;
+use dimmer_rl::DqnConfig;
+use dimmer_sim::Topology;
+use dimmer_traces::{train_policy, TraceCollector};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trace_rounds = if quick { 80 } else { 300 };
+    let iterations = if quick { 10_000 } else { 120_000 };
+
+    let topology = Topology::kiel_testbed_18(42);
+    println!("collecting {trace_rounds} trace rounds on the 18-node testbed ...");
+    let traces = TraceCollector::new(&topology, 42).collect(trace_rounds);
+    println!("collected {} samples covering N_TX 0..={}", traces.len(), traces.n_max());
+
+    println!("training the DQN for {iterations} iterations ...");
+    let dimmer_config = DimmerConfig::default();
+    let dqn_config = DqnConfig::paper_default().with_iterations(iterations);
+    let report = train_policy(&traces, &dimmer_config, &dqn_config, 42);
+    println!(
+        "training finished: tail reward {:.3} over the final 10% of {} iterations",
+        report.tail_reward, report.iterations
+    );
+
+    let text = to_text(&report.policy);
+    let out_path = std::path::Path::new("crates/core/data/pretrained_dqn.txt");
+    match std::fs::write(out_path, &text) {
+        Ok(()) => println!("wrote trained weights to {}", out_path.display()),
+        Err(e) => {
+            println!("could not write {} ({e}); printing the weights instead:\n", out_path.display());
+            println!("{text}");
+        }
+    }
+    println!("rebuild the workspace to embed the new policy (include_str! in dimmer-core).");
+}

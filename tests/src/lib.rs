@@ -1,0 +1,19 @@
+//! Cross-crate integration-test helpers for the Dimmer reproduction.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts a few
+//! shared helpers so the scenarios stay consistent across test files.
+
+#![forbid(unsafe_code)]
+
+use dimmer_sim::{CompositeInterference, PeriodicJammer};
+
+/// The two-jammer testbed interference at a given duty cycle.
+pub fn jamming(duty_cycle: f64) -> CompositeInterference {
+    let mut comp = CompositeInterference::new();
+    if duty_cycle > 0.0 {
+        for j in PeriodicJammer::kiel_pair(duty_cycle) {
+            comp.push(Box::new(j));
+        }
+    }
+    comp
+}
