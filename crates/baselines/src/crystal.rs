@@ -152,7 +152,8 @@ impl<'a> CrystalRunner<'a> {
 
     fn flood_config(&self, pair_index: usize, ack: bool) -> GlossyConfig {
         let channel = if self.config.channel_hopping {
-            self.hopping.data_channel(self.epochs.wrapping_mul(64) + pair_index as u64 * 2 + ack as u64)
+            self.hopping
+                .data_channel(self.epochs.wrapping_mul(64) + pair_index as u64 * 2 + ack as u64)
         } else {
             self.hopping.control_channel()
         };
@@ -167,7 +168,11 @@ impl<'a> CrystalRunner<'a> {
 
     /// Runs one epoch in which `sources` have a packet queued for the sink,
     /// advancing simulated time by `epoch_period`.
-    pub fn run_epoch(&mut self, sources: &[NodeId], epoch_period: SimDuration) -> CrystalEpochReport {
+    pub fn run_epoch(
+        &mut self,
+        sources: &[NodeId],
+        epoch_period: SimDuration,
+    ) -> CrystalEpochReport {
         let sim = FloodSimulator::new(self.topology, self.interference);
         let mut per_node_energy: Vec<RadioAccounting> =
             vec![RadioAccounting::new(); self.topology.num_nodes()];
@@ -175,15 +180,23 @@ impl<'a> CrystalRunner<'a> {
         let mut cursor = self.now;
 
         // Synchronization flood from the sink (every epoch, even when idle).
-        let sync = sim.flood(&self.flood_config(0, true), self.sink, cursor, &mut self.rng);
+        let sync = sim.flood(
+            &self.flood_config(0, true),
+            self.sink,
+            cursor,
+            &mut self.rng,
+        );
         for node in self.topology.node_ids() {
             per_node_energy[node.index()].merge(&sync.node(node).radio);
         }
         slot_count += 1;
         cursor += self.config.slot_duration;
 
-        let mut pending: Vec<NodeId> =
-            sources.iter().copied().filter(|&s| s != self.sink).collect();
+        let mut pending: Vec<NodeId> = sources
+            .iter()
+            .copied()
+            .filter(|&s| s != self.sink)
+            .collect();
         let offered = pending.clone();
         let mut delivered: Vec<NodeId> = Vec::new();
         let mut quiet_pairs = 0usize;
@@ -211,8 +224,12 @@ impl<'a> CrystalRunner<'a> {
                 None
             } else {
                 let winner = pending[self.rng.index(pending.len())];
-                let t_flood =
-                    sim.flood(&self.flood_config(pairs, false), winner, cursor, &mut self.rng);
+                let t_flood = sim.flood(
+                    &self.flood_config(pairs, false),
+                    winner,
+                    cursor,
+                    &mut self.rng,
+                );
                 for node in self.topology.node_ids() {
                     per_node_energy[node.index()].merge(&t_flood.node(node).radio);
                 }
@@ -228,7 +245,12 @@ impl<'a> CrystalRunner<'a> {
 
             // A slot: the sink floods the acknowledgement for the packet it
             // just received (or an empty beacon otherwise).
-            let a_flood = sim.flood(&self.flood_config(pairs, true), self.sink, cursor, &mut self.rng);
+            let a_flood = sim.flood(
+                &self.flood_config(pairs, true),
+                self.sink,
+                cursor,
+                &mut self.rng,
+            );
             for node in self.topology.node_ids() {
                 per_node_energy[node.index()].merge(&a_flood.node(node).radio);
             }
@@ -258,7 +280,10 @@ impl<'a> CrystalRunner<'a> {
             }
         }
 
-        let energy: f64 = per_node_energy.iter().map(RadioAccounting::energy_joules).sum();
+        let energy: f64 = per_node_energy
+            .iter()
+            .map(RadioAccounting::energy_joules)
+            .sum();
         let mean_on_us: u64 = per_node_energy
             .iter()
             .map(|acc| acc.on_time().as_micros())
@@ -287,24 +312,40 @@ mod tests {
     use dimmer_sim::{NoInterference, WifiInterference, WifiLevel};
 
     fn sources(topo: &Topology, n: usize) -> Vec<NodeId> {
-        (0..n).map(|i| NodeId((topo.num_nodes() - 1 - i) as u16)).collect()
+        (0..n)
+            .map(|i| NodeId((topo.num_nodes() - 1 - i) as u16))
+            .collect()
     }
 
     #[test]
     fn calm_epoch_delivers_everything_quickly() {
         let topo = Topology::dcube_48(1);
-        let mut crystal =
-            CrystalRunner::new(&topo, &NoInterference, CrystalConfig::ewsn2019(), NodeId(0), 1);
+        let mut crystal = CrystalRunner::new(
+            &topo,
+            &NoInterference,
+            CrystalConfig::ewsn2019(),
+            NodeId(0),
+            1,
+        );
         let report = crystal.run_epoch(&sources(&topo, 5), SimDuration::from_secs(1));
         assert_eq!(report.reliability(), 1.0);
-        assert!(report.ta_pairs <= 12, "calm epochs should terminate early, used {}", report.ta_pairs);
+        assert!(
+            report.ta_pairs <= 12,
+            "calm epochs should terminate early, used {}",
+            report.ta_pairs
+        );
     }
 
     #[test]
     fn idle_epoch_costs_little_and_counts_as_reliable() {
         let topo = Topology::dcube_48(1);
-        let mut crystal =
-            CrystalRunner::new(&topo, &NoInterference, CrystalConfig::ewsn2019(), NodeId(0), 2);
+        let mut crystal = CrystalRunner::new(
+            &topo,
+            &NoInterference,
+            CrystalConfig::ewsn2019(),
+            NodeId(0),
+            2,
+        );
         let busy = crystal.run_epoch(&sources(&topo, 5), SimDuration::from_secs(1));
         let idle = crystal.run_epoch(&[], SimDuration::from_secs(1));
         assert_eq!(idle.reliability(), 1.0);
@@ -316,8 +357,7 @@ mod tests {
     fn wifi_interference_is_survived_through_retransmissions() {
         let topo = Topology::dcube_48(1);
         let wifi = WifiInterference::new(WifiLevel::Level2, 5);
-        let mut crystal =
-            CrystalRunner::new(&topo, &wifi, CrystalConfig::ewsn2019(), NodeId(0), 3);
+        let mut crystal = CrystalRunner::new(&topo, &wifi, CrystalConfig::ewsn2019(), NodeId(0), 3);
         let mut offered = 0;
         let mut delivered = 0;
         for _ in 0..20 {
@@ -336,8 +376,13 @@ mod tests {
     fn interference_costs_more_energy_than_calm() {
         let topo = Topology::dcube_48(1);
         let wifi = WifiInterference::new(WifiLevel::Level2, 7);
-        let mut calm =
-            CrystalRunner::new(&topo, &NoInterference, CrystalConfig::ewsn2019(), NodeId(0), 4);
+        let mut calm = CrystalRunner::new(
+            &topo,
+            &NoInterference,
+            CrystalConfig::ewsn2019(),
+            NodeId(0),
+            4,
+        );
         let mut noisy = CrystalRunner::new(&topo, &wifi, CrystalConfig::ewsn2019(), NodeId(0), 4);
         for _ in 0..10 {
             calm.run_epoch(&sources(&topo, 5), SimDuration::from_secs(1));
@@ -349,8 +394,13 @@ mod tests {
     #[test]
     fn cumulative_counters_are_consistent() {
         let topo = Topology::dcube_48(2);
-        let mut crystal =
-            CrystalRunner::new(&topo, &NoInterference, CrystalConfig::ewsn2019(), NodeId(0), 9);
+        let mut crystal = CrystalRunner::new(
+            &topo,
+            &NoInterference,
+            CrystalConfig::ewsn2019(),
+            NodeId(0),
+            9,
+        );
         for _ in 0..5 {
             crystal.run_epoch(&sources(&topo, 3), SimDuration::from_secs(1));
         }

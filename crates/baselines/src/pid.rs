@@ -70,7 +70,12 @@ impl PidController {
 
     /// Creates a controller with explicit gains and the paper's output range.
     pub fn new(kp: f64, ki: f64, kd: f64) -> Self {
-        PidController { kp, ki, kd, ..Self::paper_pi() }
+        PidController {
+            kp,
+            ki,
+            kd,
+            ..Self::paper_pi()
+        }
     }
 
     /// Resets the controller's internal state.
@@ -129,7 +134,10 @@ impl<'a> PidRunner<'a> {
     ) -> Self {
         let config = DimmerConfig {
             adaptivity_enabled: false,
-            forwarder: dimmer_core::ForwarderConfig { enabled: false, ..Default::default() },
+            forwarder: dimmer_core::ForwarderConfig {
+                enabled: false,
+                ..Default::default()
+            },
             ..DimmerConfig::default()
         };
         let runner = DimmerRunner::new(
@@ -147,6 +155,12 @@ impl<'a> PidRunner<'a> {
     pub fn with_traffic(mut self, traffic: TrafficPattern) -> Self {
         self.runner = self.runner.with_traffic(traffic);
         self
+    }
+
+    /// The controller driving this runner (e.g. to carry its integral state
+    /// into a follow-up run over a different interference object).
+    pub fn controller(&self) -> &PidController {
+        &self.pid
     }
 
     /// The `N_TX` currently applied.
@@ -210,12 +224,18 @@ mod tests {
             pid.update(0.5);
         }
         let first_calm = pid.update(1.0);
-        assert!(first_calm >= 4, "the integral keeps N_TX high right after interference");
+        assert!(
+            first_calm >= 4,
+            "the integral keeps N_TX high right after interference"
+        );
         let mut last = first_calm;
         for _ in 0..80 {
             last = pid.update(1.0);
         }
-        assert!(last <= 2, "after a long calm stretch the controller relaxes, got {last}");
+        assert!(
+            last <= 2,
+            "after a long calm stretch the controller relaxes, got {last}"
+        );
     }
 
     #[test]

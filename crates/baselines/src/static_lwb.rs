@@ -1,7 +1,9 @@
 //! The non-adaptive LWB baseline: fixed `N_TX = 3`, single channel,
 //! best-effort.
 
-use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRoundReport, DimmerRunner, ForwarderConfig};
+use dimmer_core::{
+    AdaptivityPolicy, DimmerConfig, DimmerRoundReport, DimmerRunner, ForwarderConfig,
+};
 use dimmer_lwb::{LwbConfig, TrafficPattern};
 use dimmer_sim::{InterferenceModel, Topology};
 
@@ -37,7 +39,10 @@ impl<'a> StaticLwbRunner<'a> {
         let config = DimmerConfig {
             adaptivity_enabled: false,
             initial_ntx: ntx,
-            forwarder: ForwarderConfig { enabled: false, ..Default::default() },
+            forwarder: ForwarderConfig {
+                enabled: false,
+                ..Default::default()
+            },
             ..DimmerConfig::default()
         };
         let runner = DimmerRunner::new(
@@ -108,12 +113,23 @@ mod tests {
     #[test]
     fn calm_static_lwb_is_reliable_and_cheap() {
         let topo = Topology::kiel_testbed_18(2);
-        let mut lwb = StaticLwbRunner::new(&topo, &NoInterference, LwbConfig::testbed_default(), 3, 3);
+        let mut lwb =
+            StaticLwbRunner::new(&topo, &NoInterference, LwbConfig::testbed_default(), 3, 3);
         let reports = lwb.run_rounds(10);
         let avg_rel: f64 = reports.iter().map(|r| r.reliability).sum::<f64>() / 10.0;
-        let avg_on: f64 = reports.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / 10.0;
-        assert!(avg_rel > 0.99, "calm LWB should be highly reliable, got {avg_rel}");
-        assert!(avg_on < 14.0, "calm LWB radio-on should be well below the 20 ms budget, got {avg_on}");
+        let avg_on: f64 = reports
+            .iter()
+            .map(|r| r.mean_radio_on.as_millis_f64())
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            avg_rel > 0.99,
+            "calm LWB should be highly reliable, got {avg_rel}"
+        );
+        assert!(
+            avg_on < 14.0,
+            "calm LWB radio-on should be well below the 20 ms budget, got {avg_on}"
+        );
     }
 
     #[test]
@@ -123,12 +139,25 @@ mod tests {
         for j in PeriodicJammer::kiel_pair(0.35) {
             interference.push(Box::new(j));
         }
-        let mut calm = StaticLwbRunner::new(&topo, &NoInterference, LwbConfig::testbed_default(), 3, 5);
-        let mut jammed = StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, 5);
-        let calm_rel: f64 =
-            calm.run_rounds(8).iter().map(|r| r.reliability).sum::<f64>() / 8.0;
-        let jam_rel: f64 =
-            jammed.run_rounds(8).iter().map(|r| r.reliability).sum::<f64>() / 8.0;
-        assert!(jam_rel < calm_rel - 0.05, "jamming must visibly hurt LWB ({calm_rel} vs {jam_rel})");
+        let mut calm =
+            StaticLwbRunner::new(&topo, &NoInterference, LwbConfig::testbed_default(), 3, 5);
+        let mut jammed =
+            StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, 5);
+        let calm_rel: f64 = calm
+            .run_rounds(8)
+            .iter()
+            .map(|r| r.reliability)
+            .sum::<f64>()
+            / 8.0;
+        let jam_rel: f64 = jammed
+            .run_rounds(8)
+            .iter()
+            .map(|r| r.reliability)
+            .sum::<f64>()
+            / 8.0;
+        assert!(
+            jam_rel < calm_rel - 0.05,
+            "jamming must visibly hurt LWB ({calm_rel} vs {jam_rel})"
+        );
     }
 }

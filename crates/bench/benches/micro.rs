@@ -43,7 +43,9 @@ fn bench_dqn_inference(c: &mut Criterion) {
     let quantized = QuantizedNetwork::from_mlp(&mlp);
     let state = StateBuilder::new(cfg).build(&GlobalView::new(18), 3);
     c.bench_function("dqn_inference_float", |b| b.iter(|| mlp.argmax(&state)));
-    c.bench_function("dqn_inference_quantized", |b| b.iter(|| quantized.argmax_f32(&state)));
+    c.bench_function("dqn_inference_quantized", |b| {
+        b.iter(|| quantized.argmax_f32(&state))
+    });
 }
 
 fn bench_exp3_update(c: &mut Criterion) {
@@ -62,7 +64,10 @@ fn bench_dqn_training_step(c: &mut Criterion) {
     let mut trainer = DqnTrainer::new(
         cfg.state_dim(),
         3,
-        DqnConfig { warmup_transitions: 1, ..DqnConfig::quick() },
+        DqnConfig {
+            warmup_transitions: 1,
+            ..DqnConfig::quick()
+        },
         7,
     );
     let state = vec![0.1f32; cfg.state_dim()];
@@ -80,7 +85,9 @@ fn bench_dqn_training_step(c: &mut Criterion) {
 
 fn bench_trace_env_step(c: &mut Criterion) {
     let topo = Topology::kiel_testbed_18(2);
-    let dataset = TraceCollector::new(&topo, 9).with_sweep(vec![0.0, 0.3], 2).collect(20);
+    let dataset = TraceCollector::new(&topo, 9)
+        .with_sweep(vec![0.0, 0.3], 2)
+        .collect(20);
     let mut env = TraceEnvironment::new(dataset, DimmerConfig::default(), 3);
     let mut rng = StdRng::seed_from_u64(11);
     env.reset(&mut rng);

@@ -13,63 +13,19 @@
 //! cargo run --release -p dimmer-bench --bin exp_fig4b [-- --part nodes|history] [--quick]
 //! ```
 
-use dimmer_bench::scenarios::{arg_value, kiel_jamming, quick_flag, summarize};
-use dimmer_core::{AdaptivityController, DimmerConfig, DimmerRunner};
-use dimmer_lwb::LwbConfig;
-use dimmer_neural::QuantizedNetwork;
-use dimmer_rl::DqnConfig;
+use dimmer_bench::experiments::fig4b_row;
+use dimmer_bench::scenarios::{arg_value, quick_flag};
+use dimmer_core::DimmerConfig;
 use dimmer_sim::Topology;
-use dimmer_traces::{train_policy, TraceCollector, TraceDataset};
-
-struct Row {
-    label: String,
-    radio_on_ms: f64,
-    reliability: f64,
-    dqn_size_kb: f64,
-}
-
-fn evaluate(cfg: DimmerConfig, traces: &TraceDataset, models: usize, iterations: usize) -> Row {
-    let topo = Topology::kiel_testbed_18(1);
-    let mut radio = 0.0;
-    let mut rel = 0.0;
-    let mut size = 0.0;
-    for model in 0..models {
-        let report = train_policy(
-            traces,
-            &cfg,
-            &DqnConfig::quick().with_iterations(iterations),
-            1000 + model as u64,
-        );
-        size = QuantizedNetwork::from_mlp(&report.policy).flash_size_bytes() as f64 / 1024.0;
-        let _ = AdaptivityController::new(report.quantized_policy(), cfg.clone());
-        // Mixed evaluation scenario: calm then 25% jamming then calm.
-        for (duty, seed) in [(0.0, 11u64), (0.25, 12), (0.0, 13)] {
-            let interference = kiel_jamming(duty);
-            let mut runner = DimmerRunner::new(
-                &topo,
-                &interference,
-                LwbConfig::testbed_default(),
-                cfg.clone(),
-                report.quantized_policy(),
-                seed + model as u64,
-            );
-            let summary = summarize(&runner.run_rounds(40));
-            radio += summary.radio_on_ms;
-            rel += summary.reliability;
-        }
-    }
-    let n = (models * 3) as f64;
-    Row {
-        label: String::new(),
-        radio_on_ms: radio / n,
-        reliability: rel / n,
-        dqn_size_kb: size,
-    }
-}
+use dimmer_traces::TraceCollector;
 
 fn main() {
     let quick = quick_flag();
     let part = arg_value("--part").unwrap_or_else(|| "both".to_string());
+    if !["nodes", "history", "both"].contains(&part.as_str()) {
+        eprintln!("error: unknown --part '{part}' (expected nodes, history or both)");
+        std::process::exit(2);
+    }
     let models = if quick { 1 } else { 3 };
     let iterations = if quick { 4_000 } else { 20_000 };
     let trace_rounds = if quick { 60 } else { 160 };
@@ -80,29 +36,35 @@ fn main() {
 
     if part == "nodes" || part == "both" {
         println!("\n== Fig. 4b(i): number of input nodes K (M = 2) ==");
-        println!("{:>8} {:>14} {:>12} {:>12}", "K", "radio-on [ms]", "reliability", "DQN [kB]");
+        println!(
+            "{:>8} {:>14} {:>12} {:>12}",
+            "K", "radio-on [ms]", "reliability", "DQN [kB]"
+        );
         for k in [1usize, 5, 10, 15, 18] {
             let cfg = DimmerConfig::default().with_k_input_nodes(k);
-            let mut row = evaluate(cfg, &traces, models, iterations);
-            row.label = k.to_string();
+            let row = fig4b_row(&cfg, &traces, models, iterations, 40);
             println!(
                 "{:>8} {:>14.2} {:>12.4} {:>12.2}",
-                row.label, row.radio_on_ms, row.reliability, row.dqn_size_kb
+                k, row.radio_on_ms, row.reliability, row.dqn_size_kb
             );
         }
-        println!("(paper: K = 1..5 wastes energy, K = 18 overfits; K = 10 minimizes radio-on time)");
+        println!(
+            "(paper: K = 1..5 wastes energy, K = 18 overfits; K = 10 minimizes radio-on time)"
+        );
     }
 
     if part == "history" || part == "both" {
         println!("\n== Fig. 4b(ii): history size M (K = 10) ==");
-        println!("{:>8} {:>14} {:>12} {:>12}", "M", "radio-on [ms]", "reliability", "DQN [kB]");
+        println!(
+            "{:>8} {:>14} {:>12} {:>12}",
+            "M", "radio-on [ms]", "reliability", "DQN [kB]"
+        );
         for m in 0usize..=5 {
             let cfg = DimmerConfig::default().with_history_size(m);
-            let mut row = evaluate(cfg, &traces, models, iterations);
-            row.label = m.to_string();
+            let row = fig4b_row(&cfg, &traces, models, iterations, 40);
             println!(
                 "{:>8} {:>14.2} {:>12.4} {:>12.2}",
-                row.label, row.radio_on_ms, row.reliability, row.dqn_size_kb
+                m, row.radio_on_ms, row.reliability, row.dqn_size_kb
             );
         }
         println!("(paper: no history 98.5% vs 99% with history; more than 2 entries adds little)");

@@ -9,25 +9,34 @@
 //! cargo run --release -p dimmer-bench --bin exp_fig4c [-- --protocol pid|dimmer] [--quick]
 //! ```
 
-use dimmer_baselines::{PidController, PidRunner};
-use dimmer_bench::scenarios::{arg_value, dimmer_policy, dynamic_interference_scenario, quick_flag};
-use dimmer_core::{DimmerConfig, DimmerRoundReport, DimmerRunner};
-use dimmer_lwb::LwbConfig;
-use dimmer_sim::Topology;
+use dimmer_bench::experiments::{fig4c_dimmer, fig4c_pid};
+use dimmer_bench::scenarios::{arg_value, dimmer_policy, quick_flag};
+use dimmer_core::DimmerRoundReport;
 
 fn print_timeline(label: &str, reports: &[DimmerRoundReport]) {
     println!("\n== {label}: per-minute timeline ==");
-    println!("{:>6} {:>12} {:>10} {:>14}", "minute", "reliability", "mean NTX", "radio-on [ms]");
+    println!(
+        "{:>6} {:>12} {:>10} {:>14}",
+        "minute", "reliability", "mean NTX", "radio-on [ms]"
+    );
     for (minute, chunk) in reports.chunks(15).enumerate() {
         let n = chunk.len() as f64;
         let rel = chunk.iter().map(|r| r.reliability).sum::<f64>() / n;
         let ntx = chunk.iter().map(|r| r.ntx as f64).sum::<f64>() / n;
-        let on = chunk.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / n;
+        let on = chunk
+            .iter()
+            .map(|r| r.mean_radio_on.as_millis_f64())
+            .sum::<f64>()
+            / n;
         println!("{minute:>6} {rel:>12.4} {ntx:>10.2} {on:>14.2}");
     }
     let n = reports.len() as f64;
     let rel = reports.iter().map(|r| r.reliability).sum::<f64>() / n;
-    let on = reports.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / n;
+    let on = reports
+        .iter()
+        .map(|r| r.mean_radio_on.as_millis_f64())
+        .sum::<f64>()
+        / n;
     println!("overall: reliability {:.1}%, radio-on {:.1} ms (paper: Dimmer 99.3% / 12.3 ms, PID 99.3% / 14.4 ms)",
              rel * 100.0, on);
 }
@@ -35,32 +44,19 @@ fn print_timeline(label: &str, reports: &[DimmerRoundReport]) {
 fn main() {
     let quick = quick_flag();
     let protocol = arg_value("--protocol").unwrap_or_else(|| "both".to_string());
+    if !["dimmer", "pid", "both"].contains(&protocol.as_str()) {
+        eprintln!("error: unknown --protocol '{protocol}' (expected dimmer, pid or both)");
+        std::process::exit(2);
+    }
     let minutes: u64 = if quick { 14 } else { 27 };
     let rounds = (minutes * 60 / 4) as usize;
-    let topo = Topology::kiel_testbed_18(1);
-    let interference = dynamic_interference_scenario(minutes * 60);
 
     if protocol == "dimmer" || protocol == "both" {
-        let mut runner = DimmerRunner::new(
-            &topo,
-            &interference,
-            LwbConfig::testbed_default(),
-            DimmerConfig::default(),
-            dimmer_policy(quick),
-            7,
-        );
-        let reports = runner.run_rounds(rounds);
+        let reports = fig4c_dimmer(dimmer_policy(quick), rounds, 7);
         print_timeline("Dimmer (Fig. 4c)", &reports);
     }
     if protocol == "pid" || protocol == "both" {
-        let mut runner = PidRunner::new(
-            &topo,
-            &interference,
-            LwbConfig::testbed_default(),
-            PidController::paper_pi(),
-            7,
-        );
-        let reports = runner.run_rounds(rounds);
+        let reports = fig4c_pid(rounds, 7);
         print_timeline("PID baseline (Fig. 4d)", &reports);
     }
 }

@@ -5,18 +5,14 @@
 //! cargo run --release -p dimmer-bench --bin exp_fig5 [-- --quick]
 //! ```
 
-use dimmer_baselines::{PidController, PidRunner, StaticLwbRunner};
-use dimmer_bench::scenarios::{dimmer_policy, kiel_jamming, quick_flag, summarize, ProtocolSummary};
-use dimmer_core::{DimmerConfig, DimmerRunner};
-use dimmer_lwb::LwbConfig;
-use dimmer_sim::Topology;
+use dimmer_bench::experiments::{fig5_cell, Fig5Cell};
+use dimmer_bench::scenarios::{dimmer_policy, quick_flag};
 
 fn main() {
     let quick = quick_flag();
     let rounds = if quick { 60 } else { 200 };
     let repetitions = if quick { 1 } else { 3 };
     let levels = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35];
-    let topo = Topology::kiel_testbed_18(1);
     let policy = dimmer_policy(quick);
 
     println!("Fig. 5 — {rounds} rounds x {repetitions} runs per interference level");
@@ -26,49 +22,26 @@ fn main() {
     );
 
     for &level in &levels {
-        let mut acc: [Vec<ProtocolSummary>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for rep in 0..repetitions {
-            let seed = 100 + rep as u64;
-            let interference = kiel_jamming(level);
-
-            let mut lwb =
-                StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, seed);
-            acc[0].push(summarize(&lwb.run_rounds(rounds)));
-
-            let mut dimmer = DimmerRunner::new(
-                &topo,
-                &interference,
-                LwbConfig::testbed_default(),
-                DimmerConfig::default(),
-                policy.clone(),
-                seed,
-            );
-            acc[1].push(summarize(&dimmer.run_rounds(rounds)));
-
-            let mut pid = PidRunner::new(
-                &topo,
-                &interference,
-                LwbConfig::testbed_default(),
-                PidController::paper_pi(),
-                seed,
-            );
-            acc[2].push(summarize(&pid.run_rounds(rounds)));
-        }
-        let mean = |v: &[ProtocolSummary], f: fn(&ProtocolSummary) -> f64| {
-            v.iter().map(f).sum::<f64>() / v.len() as f64
-        };
+        let cells: Vec<Fig5Cell> = (0..repetitions)
+            .map(|rep| fig5_cell(level, policy.clone(), rounds, 100 + rep as u64))
+            .collect();
+        let mean = |f: fn(&Fig5Cell) -> f64| cells.iter().map(f).sum::<f64>() / cells.len() as f64;
         println!(
             "{:>5.0}% | {:>10.3} {:>10.3} {:>10.3} | {:>10.2} {:>10.2} {:>10.2}",
             level * 100.0,
-            mean(&acc[0], |s| s.reliability),
-            mean(&acc[1], |s| s.reliability),
-            mean(&acc[2], |s| s.reliability),
-            mean(&acc[0], |s| s.radio_on_ms),
-            mean(&acc[1], |s| s.radio_on_ms),
-            mean(&acc[2], |s| s.radio_on_ms),
+            mean(|c| c.lwb.reliability),
+            mean(|c| c.dimmer.reliability),
+            mean(|c| c.pid.reliability),
+            mean(|c| c.lwb.radio_on_ms),
+            mean(|c| c.dimmer.radio_on_ms),
+            mean(|c| c.pid.radio_on_ms),
         );
     }
-    println!("\nexpected shape (paper): all protocols degrade with interference; Dimmer & PID stay");
-    println!("above LWB in reliability; the PID's radio-on time saturates towards 20 ms faster than");
+    println!(
+        "\nexpected shape (paper): all protocols degrade with interference; Dimmer & PID stay"
+    );
+    println!(
+        "above LWB in reliability; the PID's radio-on time saturates towards 20 ms faster than"
+    );
     println!("Dimmer's at low/moderate interference; LWB never uses the full slot on average.");
 }

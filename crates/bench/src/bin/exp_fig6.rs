@@ -9,71 +9,58 @@
 //! cargo run --release -p dimmer-bench --bin exp_fig6 [-- --quick]
 //! ```
 
+use dimmer_bench::experiments::fig6_run;
 use dimmer_bench::scenarios::quick_flag;
-use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRunner};
-use dimmer_lwb::LwbConfig;
-use dimmer_sim::{NoInterference, Topology};
+use dimmer_core::DimmerRoundReport;
 
 fn main() {
     let quick = quick_flag();
     // 5 hours of 4-second rounds = 4500 rounds in the paper's run.
     let rounds = if quick { 900 } else { 4500 };
-    let topo = Topology::kiel_testbed_18(1);
 
-    // Forwarder selection only: the central DQN is deactivated, exactly as in
-    // the paper's Fig. 6 experiment.
-    let mut cfg = DimmerConfig::default().without_adaptivity();
-    cfg.forwarder.calm_rounds_threshold = 1;
-    let mut with_fs = DimmerRunner::new(
-        &topo,
-        &NoInterference,
-        LwbConfig::testbed_default(),
-        cfg,
-        AdaptivityPolicy::rule_based(),
-        3,
+    println!(
+        "Fig. 6 — forwarder selection over {} rounds ({} hours of 4 s rounds)",
+        rounds,
+        rounds * 4 / 3600
     );
+    let summary = fig6_run(rounds, 3);
 
-    // Reference run without forwarder selection (all devices always active).
-    let mut no_fs_cfg = DimmerConfig::default().without_adaptivity();
-    no_fs_cfg.forwarder.enabled = false;
-    let mut without_fs = DimmerRunner::new(
-        &topo,
-        &NoInterference,
-        LwbConfig::testbed_default(),
-        no_fs_cfg,
-        AdaptivityPolicy::rule_based(),
-        3,
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "minute", "forwarders", "reliability", "radio-on [ms]"
     );
-
-    println!("Fig. 6 — forwarder selection over {} rounds ({} hours of 4 s rounds)", rounds, rounds * 4 / 3600);
-    println!("{:>8} {:>12} {:>12} {:>14}", "minute", "forwarders", "reliability", "radio-on [ms]");
-    let reports = with_fs.run_rounds(rounds);
     let bucket = 450; // 30 simulated minutes per row
-    for (i, chunk) in reports.chunks(bucket).enumerate() {
+    for (i, chunk) in summary.with_fs.chunks(bucket).enumerate() {
         let n = chunk.len() as f64;
-        let fwd = chunk.iter().map(|r| r.active_forwarders as f64).sum::<f64>() / n;
+        let fwd = chunk
+            .iter()
+            .map(|r| r.active_forwarders as f64)
+            .sum::<f64>()
+            / n;
         let rel = chunk.iter().map(|r| r.reliability).sum::<f64>() / n;
-        let on = chunk.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / n;
+        let on = chunk
+            .iter()
+            .map(|r| r.mean_radio_on.as_millis_f64())
+            .sum::<f64>()
+            / n;
         println!("{:>8} {:>12.1} {:>12.4} {:>14.2}", i * 30, fwd, rel, on);
     }
 
-    let baseline = without_fs.run_rounds(rounds);
-    let mean =
-        |v: &[dimmer_core::DimmerRoundReport], f: fn(&dimmer_core::DimmerRoundReport) -> f64| {
-            v.iter().map(f).sum::<f64>() / v.len() as f64
-        };
+    let mean = |v: &[DimmerRoundReport], f: fn(&DimmerRoundReport) -> f64| {
+        v.iter().map(f).sum::<f64>() / v.len() as f64
+    };
     println!("\nsummary over the full run:");
     println!(
         "  with forwarder selection    : reliability {:.2}%, radio-on {:.2} ms, forwarders {:.1}",
-        mean(&reports, |r| r.reliability) * 100.0,
-        mean(&reports, |r| r.mean_radio_on.as_millis_f64()),
-        mean(&reports, |r| r.active_forwarders as f64)
+        mean(&summary.with_fs, |r| r.reliability) * 100.0,
+        mean(&summary.with_fs, |r| r.mean_radio_on.as_millis_f64()),
+        summary.mean_forwarders()
     );
     println!(
         "  without forwarder selection : reliability {:.2}%, radio-on {:.2} ms, forwarders {:.1}",
-        mean(&baseline, |r| r.reliability) * 100.0,
-        mean(&baseline, |r| r.mean_radio_on.as_millis_f64()),
-        mean(&baseline, |r| r.active_forwarders as f64)
+        mean(&summary.without_fs, |r| r.reliability) * 100.0,
+        mean(&summary.without_fs, |r| r.mean_radio_on.as_millis_f64()),
+        mean(&summary.without_fs, |r| r.active_forwarders as f64)
     );
     println!("  (paper: 99.9% reliability; 9.55 ms with vs 11.04 ms without forwarder selection)");
 }

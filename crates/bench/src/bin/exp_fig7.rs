@@ -11,118 +11,44 @@
 //! cargo run --release -p dimmer-bench --bin exp_fig7 [-- --quick]
 //! ```
 
-use dimmer_baselines::{CrystalConfig, CrystalRunner, StaticLwbRunner};
+use dimmer_bench::experiments::{fig7_cell, Fig7Cell, Fig7Scenario};
 use dimmer_bench::scenarios::{dimmer_policy, quick_flag};
-use dimmer_core::{DimmerConfig, DimmerRunner};
-use dimmer_lwb::{LwbConfig, TrafficPattern};
-use dimmer_sim::{
-    InterferenceModel, NoInterference, NodeId, SimDuration, SimRng, Topology, WifiInterference,
-    WifiLevel,
-};
-
-struct Cell {
-    reliability: f64,
-    energy: f64,
-}
-
-fn run_lwb(topo: &Topology, interference: &dyn InterferenceModel, rounds: usize, seed: u64) -> Cell {
-    let traffic = TrafficPattern::dcube_collection(topo.num_nodes(), 5, topo.coordinator());
-    let mut lwb = StaticLwbRunner::new(
-        topo,
-        interference,
-        LwbConfig::dcube_default().with_channel_hopping(false),
-        3,
-        seed,
-    )
-    .with_traffic(traffic);
-    lwb.run_rounds(rounds);
-    Cell { reliability: lwb.app_reliability(), energy: lwb.total_energy_joules() }
-}
-
-fn run_dimmer(
-    topo: &Topology,
-    interference: &dyn InterferenceModel,
-    rounds: usize,
-    seed: u64,
-    quick: bool,
-) -> Cell {
-    let traffic = TrafficPattern::dcube_collection(topo.num_nodes(), 5, topo.coordinator());
-    let mut dimmer = DimmerRunner::new(
-        topo,
-        interference,
-        LwbConfig::dcube_default(),
-        DimmerConfig::dcube(),
-        dimmer_policy(quick),
-        seed,
-    )
-    .with_traffic(traffic);
-    dimmer.run_rounds(rounds);
-    Cell { reliability: dimmer.app_reliability(), energy: dimmer.total_energy_joules() }
-}
-
-fn run_crystal(
-    topo: &Topology,
-    interference: &dyn InterferenceModel,
-    rounds: usize,
-    seed: u64,
-) -> Cell {
-    let sink = topo.coordinator();
-    let traffic = TrafficPattern::dcube_collection(topo.num_nodes(), 5, sink);
-    let all: Vec<NodeId> = topo.node_ids().collect();
-    let mut rng = SimRng::seed_from(seed ^ 0xC11);
-    let mut crystal = CrystalRunner::new(topo, interference, CrystalConfig::ewsn2019(), sink, seed);
-    for _ in 0..rounds {
-        let sources = traffic.sources_for_round(&all, &mut rng);
-        crystal.run_epoch(&sources, SimDuration::from_secs(1));
-    }
-    Cell { reliability: crystal.app_reliability(), energy: crystal.total_energy_joules() }
-}
 
 fn main() {
     let quick = quick_flag();
     // Paper: ten 10-minute experiments with 1-second rounds per cell.
     let rounds = if quick { 200 } else { 600 };
     let repetitions = if quick { 1 } else { 3 };
-    let topo = Topology::dcube_48(7);
+    let policy = dimmer_policy(quick);
 
     println!(
-        "Fig. 7 — 48-node D-Cube stand-in, {} rounds x {} runs per cell (5 sources -> sink {})",
-        rounds,
-        repetitions,
-        topo.coordinator()
+        "Fig. 7 — 48-node D-Cube stand-in, {rounds} rounds x {repetitions} runs per cell (5 sources -> sink)"
     );
     println!(
         "{:<12} | {:>9} {:>11} {:>11} | {:>9} {:>11} {:>11}",
         "scenario", "LWB rel", "Dimmer rel", "Crystal rel", "LWB J", "Dimmer J", "Crystal J"
     );
 
-    let scenarios: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn InterferenceModel>>)> = vec![
-        ("no interf", Box::new(|_s| Box::new(NoInterference) as Box<dyn InterferenceModel>)),
-        ("WiFi lvl 1", Box::new(|s| Box::new(WifiInterference::new(WifiLevel::Level1, s)) as _)),
-        ("WiFi lvl 2", Box::new(|s| Box::new(WifiInterference::new(WifiLevel::Level2, s)) as _)),
-    ];
-
-    for (name, make_interference) in &scenarios {
-        let mut cells: [Vec<Cell>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for rep in 0..repetitions {
-            let seed = 300 + rep as u64;
-            let interference = make_interference(seed);
-            cells[0].push(run_lwb(&topo, interference.as_ref(), rounds, seed));
-            cells[1].push(run_dimmer(&topo, interference.as_ref(), rounds, seed, quick));
-            cells[2].push(run_crystal(&topo, interference.as_ref(), rounds, seed));
-        }
-        let mean = |v: &[Cell], f: fn(&Cell) -> f64| v.iter().map(f).sum::<f64>() / v.len() as f64;
+    for scenario in Fig7Scenario::ALL {
+        let cells: Vec<Fig7Cell> = (0..repetitions)
+            .map(|rep| fig7_cell(scenario, policy.clone(), rounds, 300 + rep as u64))
+            .collect();
+        let mean = |f: fn(&Fig7Cell) -> f64| cells.iter().map(f).sum::<f64>() / cells.len() as f64;
         println!(
             "{:<12} | {:>8.1}% {:>10.1}% {:>10.1}% | {:>9.1} {:>11.1} {:>11.1}",
-            name,
-            mean(&cells[0], |c| c.reliability) * 100.0,
-            mean(&cells[1], |c| c.reliability) * 100.0,
-            mean(&cells[2], |c| c.reliability) * 100.0,
-            mean(&cells[0], |c| c.energy),
-            mean(&cells[1], |c| c.energy),
-            mean(&cells[2], |c| c.energy),
+            scenario.label(),
+            mean(|c| c.lwb.reliability) * 100.0,
+            mean(|c| c.dimmer.reliability) * 100.0,
+            mean(|c| c.crystal.reliability) * 100.0,
+            mean(|c| c.lwb.energy_joules),
+            mean(|c| c.dimmer.energy_joules),
+            mean(|c| c.crystal.energy_joules),
         );
     }
-    println!("\nexpected shape (paper): LWB collapses under WiFi level 2 (~27%), Dimmer stays above");
-    println!("95%, Crystal around 99-100%; Dimmer's energy approaches Crystal's under interference.");
+    println!(
+        "\nexpected shape (paper): LWB collapses under WiFi level 2 (~27%), Dimmer stays above"
+    );
+    println!(
+        "95%, Crystal around 99-100%; Dimmer's energy approaches Crystal's under interference."
+    );
 }

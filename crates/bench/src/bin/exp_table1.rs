@@ -5,32 +5,46 @@
 //! cargo run --release -p dimmer-bench --bin exp_table1
 //! ```
 
-use dimmer_core::{DimmerConfig, GlobalView, StateBuilder};
-use dimmer_neural::{Mlp, QuantizedNetwork};
+use dimmer_bench::experiments::table1_summary;
+use dimmer_core::DimmerConfig;
 
 fn main() {
     let cfg = DimmerConfig::default();
-    println!("== Table I: input vector of Dimmer's DQN ==");
-    println!("{:<16} {:>14} {}", "Input", "Rows", "Normalization");
-    println!("{:<16} {:>14} {}", "Radio-on time", cfg.k_input_nodes, "[0, 20ms] -> [-1, 1]");
-    println!("{:<16} {:>14} {}", "Reliability", cfg.k_input_nodes, "[50, 100%] -> [-1, 1]");
-    println!("{:<16} {:>14} {}", "N parameter", cfg.n_max + 1, "one-hot encoding");
-    println!("{:<16} {:>14} {}", "History", cfg.history_size, "-1 if losses, otherwise 1");
-    println!("total input dimension: {}", cfg.state_dim());
+    let summary = table1_summary(&cfg);
 
-    let builder = StateBuilder::new(cfg.clone());
-    let example = builder.build(&GlobalView::new(18), cfg.initial_ntx);
-    println!("\nexample state vector (pessimistic start, N_TX = {}):", cfg.initial_ntx);
-    println!("{example:?}");
+    println!("== Table I: input vector of Dimmer's DQN ==");
+    println!("{:<16} {:>14} Normalization", "Input", "Rows");
+    println!(
+        "{:<16} {:>14} [0, 20ms] -> [-1, 1]",
+        "Radio-on time", cfg.k_input_nodes
+    );
+    println!(
+        "{:<16} {:>14} [50, 100%] -> [-1, 1]",
+        "Reliability", cfg.k_input_nodes
+    );
+    println!(
+        "{:<16} {:>14} one-hot encoding",
+        "N parameter",
+        cfg.n_max + 1
+    );
+    println!(
+        "{:<16} {:>14} -1 if losses, otherwise 1",
+        "History", cfg.history_size
+    );
+    println!("total input dimension: {}", summary.state_dim);
+
+    println!(
+        "\nexample state vector (pessimistic start, N_TX = {}):",
+        cfg.initial_ntx
+    );
+    println!("{:?}", summary.example_state);
 
     println!("\n== Embedded DQN footprint (paper: ~2.1 kB flash, ~400 B RAM, 31-30-3) ==");
-    let mlp = Mlp::new(&[cfg.state_dim(), 30, 3], 0);
-    let quantized = QuantizedNetwork::from_mlp(&mlp);
-    println!("parameters          : {}", mlp.num_parameters());
-    println!("flash (2 B weights) : {} B", quantized.flash_size_bytes());
-    println!("ram  (4 B buffers)  : {} B", quantized.ram_size_bytes());
+    println!("parameters          : {}", summary.parameters);
+    println!("flash (2 B weights) : {} B", summary.flash_bytes);
+    println!("ram  (4 B buffers)  : {} B", summary.ram_bytes);
     println!(
         "pretrained weights shipped with dimmer-core: {}",
-        dimmer_core::pretrained::has_pretrained_weights()
+        summary.pretrained_shipped
     );
 }

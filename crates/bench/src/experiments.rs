@@ -1,0 +1,394 @@
+//! Reusable, testable cores of the six `exp_*` binaries.
+//!
+//! Each experiment binary is a thin CLI wrapper (argument parsing and table
+//! printing) around one of the builders in this module. The builders take
+//! explicit sizes and an [`AdaptivityPolicy`], so the smoke tests in
+//! `tests/tests/exp_smoke.rs` can exercise every scenario with a handful of
+//! rounds and a rule-based policy without paying for DQN training.
+
+use crate::scenarios::{dynamic_interference_scenario, kiel_jamming, summarize, ProtocolSummary};
+use dimmer_baselines::{CrystalConfig, CrystalRunner, PidController, PidRunner, StaticLwbRunner};
+use dimmer_core::{
+    AdaptivityPolicy, DimmerConfig, DimmerRoundReport, DimmerRunner, GlobalView, StateBuilder,
+};
+use dimmer_lwb::{LwbConfig, TrafficPattern};
+use dimmer_neural::{Mlp, QuantizedNetwork};
+use dimmer_rl::DqnConfig;
+use dimmer_sim::{
+    InterferenceModel, NoInterference, NodeId, SimDuration, SimRng, Topology, WifiInterference,
+    WifiLevel,
+};
+use dimmer_traces::{train_policy, TraceDataset};
+
+/// Table I + §IV-B footprint numbers (`exp_table1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Summary {
+    /// Total DQN input dimension (31 for the paper's configuration).
+    pub state_dim: usize,
+    /// An example state vector built from a pessimistic start.
+    pub example_state: Vec<f32>,
+    /// Float-network parameter count.
+    pub parameters: usize,
+    /// Flash footprint of the quantized network, in bytes.
+    pub flash_bytes: usize,
+    /// RAM footprint of the quantized network's buffers, in bytes.
+    pub ram_bytes: usize,
+    /// Whether trained weights are embedded in `dimmer-core`.
+    pub pretrained_shipped: bool,
+}
+
+/// Builds the Table I summary for `cfg` (`exp_table1`).
+pub fn table1_summary(cfg: &DimmerConfig) -> Table1Summary {
+    let builder = StateBuilder::new(cfg.clone());
+    let example_state = builder.build(&GlobalView::new(18), cfg.initial_ntx);
+    let mlp = Mlp::new(&[cfg.state_dim(), 30, 3], 0);
+    let quantized = QuantizedNetwork::from_mlp(&mlp);
+    Table1Summary {
+        state_dim: cfg.state_dim(),
+        example_state,
+        parameters: mlp.num_parameters(),
+        flash_bytes: quantized.flash_size_bytes(),
+        ram_bytes: quantized.ram_size_bytes(),
+        pretrained_shipped: dimmer_core::pretrained::has_pretrained_weights(),
+    }
+}
+
+/// One row of the Fig. 4b feature-selection tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4bRow {
+    /// Mean per-slot radio-on time over the mixed evaluation scenario, ms.
+    pub radio_on_ms: f64,
+    /// Mean reliability over the mixed evaluation scenario.
+    pub reliability: f64,
+    /// Quantized network size, kB.
+    pub dqn_size_kb: f64,
+}
+
+/// Trains `models` fresh policies on `traces` under `cfg` and evaluates them
+/// on the mixed calm/25 %-jamming/calm scenario of Fig. 4b.
+pub fn fig4b_row(
+    cfg: &DimmerConfig,
+    traces: &TraceDataset,
+    models: usize,
+    iterations: usize,
+    eval_rounds: usize,
+) -> Fig4bRow {
+    assert!(models > 0, "need at least one model");
+    let topo = Topology::kiel_testbed_18(1);
+    let mut radio = 0.0;
+    let mut rel = 0.0;
+    let mut size = 0.0;
+    for model in 0..models {
+        let report = train_policy(
+            traces,
+            cfg,
+            &DqnConfig::quick().with_iterations(iterations),
+            1000 + model as u64,
+        );
+        size = QuantizedNetwork::from_mlp(&report.policy).flash_size_bytes() as f64 / 1024.0;
+        // Mixed evaluation scenario: calm then 25% jamming then calm.
+        for (duty, seed) in [(0.0, 11u64), (0.25, 12), (0.0, 13)] {
+            let interference = kiel_jamming(duty);
+            let mut runner = DimmerRunner::new(
+                &topo,
+                &interference,
+                LwbConfig::testbed_default(),
+                cfg.clone(),
+                report.quantized_policy(),
+                seed + model as u64,
+            );
+            let summary = summarize(&runner.run_rounds(eval_rounds));
+            radio += summary.radio_on_ms;
+            rel += summary.reliability;
+        }
+    }
+    let n = (models * 3) as f64;
+    Fig4bRow {
+        radio_on_ms: radio / n,
+        reliability: rel / n,
+        dqn_size_kb: size,
+    }
+}
+
+/// Runs Dimmer with `policy` through the Fig. 4c dynamic-interference
+/// timeline for `rounds` rounds.
+pub fn fig4c_dimmer(policy: AdaptivityPolicy, rounds: usize, seed: u64) -> Vec<DimmerRoundReport> {
+    let topo = Topology::kiel_testbed_18(1);
+    let interference = dynamic_interference_scenario(rounds as u64 * 4);
+    let mut runner = DimmerRunner::new(
+        &topo,
+        &interference,
+        LwbConfig::testbed_default(),
+        DimmerConfig::default(),
+        policy,
+        seed,
+    );
+    runner.run_rounds(rounds)
+}
+
+/// Runs the PID baseline through the Fig. 4c dynamic-interference timeline.
+pub fn fig4c_pid(rounds: usize, seed: u64) -> Vec<DimmerRoundReport> {
+    let topo = Topology::kiel_testbed_18(1);
+    let interference = dynamic_interference_scenario(rounds as u64 * 4);
+    let mut runner = PidRunner::new(
+        &topo,
+        &interference,
+        LwbConfig::testbed_default(),
+        PidController::paper_pi(),
+        seed,
+    );
+    runner.run_rounds(rounds)
+}
+
+/// One Fig. 5 cell: LWB / Dimmer / PID summaries at a static interference
+/// level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Cell {
+    /// Static LWB at `N_TX = 3`.
+    pub lwb: ProtocolSummary,
+    /// Dimmer with the given adaptivity policy.
+    pub dimmer: ProtocolSummary,
+    /// The PID baseline.
+    pub pid: ProtocolSummary,
+}
+
+/// Runs the three protocols for `rounds` rounds under static jamming at
+/// `level` duty cycle (`exp_fig5`).
+pub fn fig5_cell(level: f64, policy: AdaptivityPolicy, rounds: usize, seed: u64) -> Fig5Cell {
+    let topo = Topology::kiel_testbed_18(1);
+    let interference = kiel_jamming(level);
+
+    let mut lwb = StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, seed);
+    let lwb_summary = summarize(&lwb.run_rounds(rounds));
+
+    let mut dimmer = DimmerRunner::new(
+        &topo,
+        &interference,
+        LwbConfig::testbed_default(),
+        DimmerConfig::default(),
+        policy,
+        seed,
+    );
+    let dimmer_summary = summarize(&dimmer.run_rounds(rounds));
+
+    let mut pid = PidRunner::new(
+        &topo,
+        &interference,
+        LwbConfig::testbed_default(),
+        PidController::paper_pi(),
+        seed,
+    );
+    let pid_summary = summarize(&pid.run_rounds(rounds));
+
+    Fig5Cell {
+        lwb: lwb_summary,
+        dimmer: dimmer_summary,
+        pid: pid_summary,
+    }
+}
+
+/// The Fig. 6 forwarder-selection comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Summary {
+    /// Per-round reports of the run with forwarder selection enabled.
+    pub with_fs: Vec<DimmerRoundReport>,
+    /// Per-round reports of the all-forwarders reference run.
+    pub without_fs: Vec<DimmerRoundReport>,
+}
+
+impl Fig6Summary {
+    /// Mean number of active forwarders in the forwarder-selection run.
+    pub fn mean_forwarders(&self) -> f64 {
+        if self.with_fs.is_empty() {
+            return 0.0;
+        }
+        self.with_fs
+            .iter()
+            .map(|r| r.active_forwarders as f64)
+            .sum::<f64>()
+            / self.with_fs.len() as f64
+    }
+}
+
+/// Runs the interference-free forwarder-selection experiment (`exp_fig6`):
+/// DQN deactivated, Exp3 bandits learning passive roles.
+pub fn fig6_run(rounds: usize, seed: u64) -> Fig6Summary {
+    let topo = Topology::kiel_testbed_18(1);
+
+    let mut cfg = DimmerConfig::default().without_adaptivity();
+    cfg.forwarder.calm_rounds_threshold = 1;
+    let mut with_fs = DimmerRunner::new(
+        &topo,
+        &NoInterference,
+        LwbConfig::testbed_default(),
+        cfg,
+        AdaptivityPolicy::rule_based(),
+        seed,
+    );
+
+    let mut no_fs_cfg = DimmerConfig::default().without_adaptivity();
+    no_fs_cfg.forwarder.enabled = false;
+    let mut without_fs = DimmerRunner::new(
+        &topo,
+        &NoInterference,
+        LwbConfig::testbed_default(),
+        no_fs_cfg,
+        AdaptivityPolicy::rule_based(),
+        seed,
+    );
+
+    Fig6Summary {
+        with_fs: with_fs.run_rounds(rounds),
+        without_fs: without_fs.run_rounds(rounds),
+    }
+}
+
+/// Application-layer outcome of one Fig. 7 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppOutcome {
+    /// End-to-end application reliability.
+    pub reliability: f64,
+    /// Total radio energy spent, joules.
+    pub energy_joules: f64,
+}
+
+/// The Fig. 7 interference scenarios on the 48-node D-Cube stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig7Scenario {
+    /// No external interference.
+    Calm,
+    /// Mild WiFi cross-traffic.
+    WifiLevel1,
+    /// Heavy WiFi cross-traffic.
+    WifiLevel2,
+}
+
+impl Fig7Scenario {
+    /// All scenarios, in presentation order.
+    pub const ALL: [Fig7Scenario; 3] = [
+        Fig7Scenario::Calm,
+        Fig7Scenario::WifiLevel1,
+        Fig7Scenario::WifiLevel2,
+    ];
+
+    /// Human-readable label used by the table printer.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig7Scenario::Calm => "no interf",
+            Fig7Scenario::WifiLevel1 => "WiFi lvl 1",
+            Fig7Scenario::WifiLevel2 => "WiFi lvl 2",
+        }
+    }
+
+    fn interference(&self, seed: u64) -> Box<dyn InterferenceModel> {
+        match self {
+            Fig7Scenario::Calm => Box::new(NoInterference),
+            Fig7Scenario::WifiLevel1 => Box::new(WifiInterference::new(WifiLevel::Level1, seed)),
+            Fig7Scenario::WifiLevel2 => Box::new(WifiInterference::new(WifiLevel::Level2, seed)),
+        }
+    }
+}
+
+/// One Fig. 7 cell: LWB / Dimmer / Crystal on the D-Cube collection workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Cell {
+    /// Static LWB without channel hopping.
+    pub lwb: AppOutcome,
+    /// Dimmer with channel hopping and ACKs, no retraining.
+    pub dimmer: AppOutcome,
+    /// The Crystal baseline.
+    pub crystal: AppOutcome,
+}
+
+/// Runs the three protocols on the 48-node aperiodic-collection workload
+/// under `scenario` (`exp_fig7`).
+pub fn fig7_cell(
+    scenario: Fig7Scenario,
+    policy: AdaptivityPolicy,
+    rounds: usize,
+    seed: u64,
+) -> Fig7Cell {
+    let topo = Topology::dcube_48(7);
+    let interference = scenario.interference(seed);
+    let traffic = || TrafficPattern::dcube_collection(topo.num_nodes(), 5, topo.coordinator());
+
+    let mut lwb = StaticLwbRunner::new(
+        &topo,
+        interference.as_ref(),
+        LwbConfig::dcube_default().with_channel_hopping(false),
+        3,
+        seed,
+    )
+    .with_traffic(traffic());
+    lwb.run_rounds(rounds);
+    let lwb_outcome = AppOutcome {
+        reliability: lwb.app_reliability(),
+        energy_joules: lwb.total_energy_joules(),
+    };
+
+    let mut dimmer = DimmerRunner::new(
+        &topo,
+        interference.as_ref(),
+        LwbConfig::dcube_default(),
+        DimmerConfig::dcube(),
+        policy,
+        seed,
+    )
+    .with_traffic(traffic());
+    dimmer.run_rounds(rounds);
+    let dimmer_outcome = AppOutcome {
+        reliability: dimmer.app_reliability(),
+        energy_joules: dimmer.total_energy_joules(),
+    };
+
+    let sink = topo.coordinator();
+    let all: Vec<NodeId> = topo.node_ids().collect();
+    let mut rng = SimRng::seed_from(seed ^ 0xC11);
+    let mut crystal = CrystalRunner::new(
+        &topo,
+        interference.as_ref(),
+        CrystalConfig::ewsn2019(),
+        sink,
+        seed,
+    );
+    let crystal_traffic = traffic();
+    for _ in 0..rounds {
+        let sources = crystal_traffic.sources_for_round(&all, &mut rng);
+        crystal.run_epoch(&sources, SimDuration::from_secs(1));
+    }
+    let crystal_outcome = AppOutcome {
+        reliability: crystal.app_reliability(),
+        energy_joules: crystal.total_energy_joules(),
+    };
+
+    Fig7Cell {
+        lwb: lwb_outcome,
+        dimmer: dimmer_outcome,
+        crystal: crystal_outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_footprint() {
+        let s = table1_summary(&DimmerConfig::default());
+        assert_eq!(s.state_dim, 31);
+        assert_eq!(s.parameters, 1053);
+        assert_eq!(s.flash_bytes, 2106, "31-30-3 quantized network is ~2.1 kB");
+        assert_eq!(s.example_state.len(), 31);
+    }
+
+    #[test]
+    fn fig6_selection_reduces_active_forwarders() {
+        let summary = fig6_run(120, 3);
+        assert_eq!(summary.with_fs.len(), 120);
+        assert!(
+            summary.mean_forwarders() < 18.0,
+            "some devices should learn a passive role, got {}",
+            summary.mean_forwarders()
+        );
+    }
+}

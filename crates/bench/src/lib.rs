@@ -1,7 +1,7 @@
 //! # dimmer-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper's evaluation (see `DESIGN.md` and
-//! `EXPERIMENTS.md` at the repository root):
+//! One binary per table/figure of the paper's evaluation (see the crate map
+//! and run instructions in the repository-root `README.md`):
 //!
 //! | Binary        | Reproduces                                            |
 //! |---------------|--------------------------------------------------------|
@@ -12,13 +12,15 @@
 //! | `exp_fig6`    | Fig. 6 — forwarder selection with multi-armed bandits   |
 //! | `exp_fig7`    | Fig. 7 — 48-node D-Cube comparison vs LWB and Crystal   |
 //!
-//! The library part of the crate collects the scenario builders and runner
-//! helpers shared by the binaries, plus the Criterion micro-benchmarks in
-//! `benches/micro.rs`.
+//! The library part of the crate hosts the scenario builders
+//! ([`scenarios`]), the testable experiment cores ([`experiments`]) shared
+//! by the binaries and the smoke tests, and the Criterion micro-benchmarks
+//! in `benches/micro.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
 pub mod scenarios;
 
 pub use scenarios::{

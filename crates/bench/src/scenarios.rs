@@ -3,9 +3,7 @@
 
 use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRoundReport};
 use dimmer_rl::DqnConfig;
-use dimmer_sim::{
-    CompositeInterference, PeriodicJammer, ScheduledInterference, SimTime, Topology,
-};
+use dimmer_sim::{CompositeInterference, PeriodicJammer, ScheduledInterference, SimTime, Topology};
 use dimmer_traces::{train_policy, TraceCollector};
 
 /// The two-jammer 802.15.4 interference used on the 18-node testbed, at the
@@ -71,12 +69,21 @@ pub struct ProtocolSummary {
 /// Summarizes a run.
 pub fn summarize(reports: &[DimmerRoundReport]) -> ProtocolSummary {
     if reports.is_empty() {
-        return ProtocolSummary { reliability: 1.0, radio_on_ms: 0.0, mean_ntx: 0.0, rounds: 0 };
+        return ProtocolSummary {
+            reliability: 1.0,
+            radio_on_ms: 0.0,
+            mean_ntx: 0.0,
+            rounds: 0,
+        };
     }
     let n = reports.len() as f64;
     ProtocolSummary {
         reliability: reports.iter().map(|r| r.reliability).sum::<f64>() / n,
-        radio_on_ms: reports.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / n,
+        radio_on_ms: reports
+            .iter()
+            .map(|r| r.mean_radio_on.as_millis_f64())
+            .sum::<f64>()
+            / n,
         mean_ntx: reports.iter().map(|r| r.ntx as f64).sum::<f64>() / n,
         rounds: reports.len(),
     }
@@ -91,7 +98,10 @@ pub fn quick_flag() -> bool {
 /// Returns the value following a `--flag` argument, if present.
 pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 #[cfg(test)]
@@ -122,7 +132,10 @@ mod tests {
         assert!(probe(9 * 60) > 0.2, "minute 9 sits in the 30% phase");
         assert!(probe(14 * 60) < 0.01, "minute 14 is calm again");
         let light = probe(19 * 60);
-        assert!(light > 0.01 && light < 0.15, "minute 19 sits in the 5% phase, got {light}");
+        assert!(
+            light > 0.01 && light < 0.15,
+            "minute 19 sits in the 5% phase, got {light}"
+        );
     }
 
     #[test]

@@ -23,8 +23,11 @@ impl AdaptivityAction {
     pub const COUNT: usize = 3;
 
     /// All actions, in the index order used by the DQN output layer.
-    pub const ALL: [AdaptivityAction; 3] =
-        [AdaptivityAction::Decrease, AdaptivityAction::Maintain, AdaptivityAction::Increase];
+    pub const ALL: [AdaptivityAction; 3] = [
+        AdaptivityAction::Decrease,
+        AdaptivityAction::Maintain,
+        AdaptivityAction::Increase,
+    ];
 
     /// The action encoded by a DQN output index.
     ///

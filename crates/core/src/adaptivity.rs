@@ -96,7 +96,11 @@ impl AdaptivityController {
     /// Panics if the state length does not match the configuration, or (for
     /// neural policies) the network's input size.
     pub fn decide(&self, state: &[f32]) -> AdaptivityAction {
-        assert_eq!(state.len(), self.config.state_dim(), "state layout mismatch");
+        assert_eq!(
+            state.len(),
+            self.config.state_dim(),
+            "state layout mismatch"
+        );
         match &self.policy {
             AdaptivityPolicy::Quantized(q) => AdaptivityAction::from_index(q.argmax_f32(state)),
             AdaptivityPolicy::Float(m) => AdaptivityAction::from_index(m.argmax(state)),
@@ -113,8 +117,7 @@ impl AdaptivityController {
         let reliabilities = &state[k..2 * k];
         let history_start = 2 * k + self.config.n_max as usize + 1;
         let history = &state[history_start..];
-        let worst_reliability =
-            reliabilities.iter().copied().fold(f32::INFINITY, f32::min);
+        let worst_reliability = reliabilities.iter().copied().fold(f32::INFINITY, f32::min);
         let had_recent_losses = history.iter().any(|&h| h < 0.0);
         // Table I maps 90 % reliability to 0.6 on the normalized scale.
         if worst_reliability < 0.6 || had_recent_losses {
@@ -136,7 +139,10 @@ mod tests {
     fn perfect_view(n: usize) -> GlobalView {
         let mut v = GlobalView::new(n);
         for i in 0..n {
-            v.update(NodeId(i as u16), FeedbackHeader::new(1.0, SimDuration::from_millis(8)));
+            v.update(
+                NodeId(i as u16),
+                FeedbackHeader::new(1.0, SimDuration::from_millis(8)),
+            );
         }
         v
     }
@@ -146,7 +152,10 @@ mod tests {
         let cfg = DimmerConfig::default();
         let controller = AdaptivityController::new(AdaptivityPolicy::rule_based(), cfg.clone());
         let mut view = perfect_view(18);
-        view.update(NodeId(3), FeedbackHeader::new(0.7, SimDuration::from_millis(15)));
+        view.update(
+            NodeId(3),
+            FeedbackHeader::new(0.7, SimDuration::from_millis(15)),
+        );
         let state = StateBuilder::new(cfg).build(&view, 3);
         assert_eq!(controller.decide(&state), AdaptivityAction::Increase);
     }
@@ -174,7 +183,8 @@ mod tests {
         let cfg = DimmerConfig::default();
         let mlp = Mlp::new(&[cfg.state_dim(), 30, 3], 9);
         let state = StateBuilder::new(cfg.clone()).build(&perfect_view(18), 3);
-        let float = AdaptivityController::new(AdaptivityPolicy::from_mlp_float(mlp.clone()), cfg.clone());
+        let float =
+            AdaptivityController::new(AdaptivityPolicy::from_mlp_float(mlp.clone()), cfg.clone());
         let quant = AdaptivityController::new(AdaptivityPolicy::from_mlp(&mlp), cfg);
         let a = float.decide(&state);
         let b = quant.decide(&state);

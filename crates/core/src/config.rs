@@ -82,7 +82,10 @@ impl DimmerConfig {
     pub fn dcube() -> Self {
         DimmerConfig {
             acknowledgements: true,
-            forwarder: ForwarderConfig { enabled: false, ..ForwarderConfig::default() },
+            forwarder: ForwarderConfig {
+                enabled: false,
+                ..ForwarderConfig::default()
+            },
             ..Self::default()
         }
     }
@@ -135,9 +138,13 @@ mod tests {
 
     #[test]
     fn state_dim_tracks_k_and_m() {
-        let cfg = DimmerConfig::default().with_k_input_nodes(18).with_history_size(0);
+        let cfg = DimmerConfig::default()
+            .with_k_input_nodes(18)
+            .with_history_size(0);
         assert_eq!(cfg.state_dim(), 2 * 18 + 9);
-        let cfg = DimmerConfig::default().with_k_input_nodes(1).with_history_size(5);
+        let cfg = DimmerConfig::default()
+            .with_k_input_nodes(1)
+            .with_history_size(5);
         assert_eq!(cfg.state_dim(), 2 + 9 + 5);
     }
 
@@ -151,7 +158,11 @@ mod tests {
 
     #[test]
     fn without_adaptivity_turns_the_dqn_off() {
-        assert!(!DimmerConfig::default().without_adaptivity().adaptivity_enabled);
+        assert!(
+            !DimmerConfig::default()
+                .without_adaptivity()
+                .adaptivity_enabled
+        );
     }
 
     #[test]

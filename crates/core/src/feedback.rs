@@ -44,7 +44,10 @@ impl FeedbackHeader {
     /// The pessimistic placeholder used when a node's feedback is missing:
     /// 0 % reliability, 100 % radio-on time (§IV-D "Global view").
     pub fn pessimistic() -> Self {
-        FeedbackHeader { reliability: 0.0, radio_on: Self::MAX_RADIO_ON }
+        FeedbackHeader {
+            reliability: 0.0,
+            radio_on: Self::MAX_RADIO_ON,
+        }
     }
 
     /// The node's packet reception rate, in `[0, 1]`.
@@ -71,10 +74,12 @@ impl FeedbackHeader {
     /// Decodes a header from its 2-byte representation.
     pub fn decode(bytes: [u8; 2]) -> Self {
         let reliability = bytes[0] as f64 / 255.0;
-        let radio_on = SimDuration::from_micros(
-            (bytes[1] as u64 * Self::MAX_RADIO_ON.as_micros()) / 255,
-        );
-        FeedbackHeader { reliability, radio_on }
+        let radio_on =
+            SimDuration::from_micros((bytes[1] as u64 * Self::MAX_RADIO_ON.as_micros()) / 255);
+        FeedbackHeader {
+            reliability,
+            radio_on,
+        }
     }
 }
 

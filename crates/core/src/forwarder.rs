@@ -95,8 +95,9 @@ impl ForwarderSelection {
 
     fn shuffled_order(&self, rng: &mut StdRng) -> Vec<usize> {
         use rand::seq::SliceRandom;
-        let mut order: Vec<usize> =
-            (0..self.bandits.len()).filter(|&i| i != self.coordinator.index()).collect();
+        let mut order: Vec<usize> = (0..self.bandits.len())
+            .filter(|&i| i != self.coordinator.index())
+            .collect();
         order.shuffle(rng);
         order
     }
@@ -211,7 +212,11 @@ mod tests {
             fs.begin_round();
             fs.end_round(false);
         }
-        assert_eq!(fs.roles()[0], Role::Forwarder, "the coordinator must keep forwarding");
+        assert_eq!(
+            fs.roles()[0],
+            Role::Forwarder,
+            "the coordinator must keep forwarding"
+        );
     }
 
     #[test]
@@ -224,12 +229,18 @@ mod tests {
             fs.end_round(false);
         }
         let passive = 18 - fs.active_forwarders();
-        assert!(passive >= 3, "expected several passive devices, got {passive}");
+        assert!(
+            passive >= 3,
+            "expected several passive devices, got {passive}"
+        );
     }
 
     #[test]
     fn losses_on_passive_trials_reset_the_arm_and_keep_forwarding() {
-        let cfg = ForwarderConfig { rounds_per_learner: 1, ..ForwarderConfig::default() };
+        let cfg = ForwarderConfig {
+            rounds_per_learner: 1,
+            ..ForwarderConfig::default()
+        };
         let mut fs = ForwarderSelection::new(4, NodeId(0), cfg, 5);
         // Adversarial environment: every passive trial breaks the network.
         for _ in 0..400 {
@@ -238,7 +249,11 @@ mod tests {
             let tried_passive = matches!(fs.assignment(3), NtxAssignment::PerNode(ref v) if v[learner.index()] == 0);
             fs.end_round(tried_passive);
         }
-        assert_eq!(fs.active_forwarders(), 4, "punished devices must all stay forwarders");
+        assert_eq!(
+            fs.active_forwarders(),
+            4,
+            "punished devices must all stay forwarders"
+        );
     }
 
     #[test]
@@ -259,7 +274,10 @@ mod tests {
 
     #[test]
     fn trial_overrides_committed_role_during_the_round() {
-        let cfg = ForwarderConfig { rounds_per_learner: 1000, ..ForwarderConfig::default() };
+        let cfg = ForwarderConfig {
+            rounds_per_learner: 1000,
+            ..ForwarderConfig::default()
+        };
         let mut fs = ForwarderSelection::new(3, NodeId(0), cfg, 11);
         // Force the learner's bandit towards passivity so the trial is
         // passive with overwhelming probability.
@@ -287,7 +305,10 @@ mod tests {
 
     #[test]
     fn learning_token_rotates_through_all_devices() {
-        let cfg = ForwarderConfig { rounds_per_learner: 2, ..ForwarderConfig::default() };
+        let cfg = ForwarderConfig {
+            rounds_per_learner: 2,
+            ..ForwarderConfig::default()
+        };
         let mut fs = ForwarderSelection::new(6, NodeId(0), cfg, 17);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..(5 * 2) {
@@ -295,7 +316,11 @@ mod tests {
             fs.begin_round();
             fs.end_round(false);
         }
-        assert_eq!(seen.len(), 5, "every non-coordinator device gets the token once per pass");
+        assert_eq!(
+            seen.len(),
+            5,
+            "every non-coordinator device gets the token once per pass"
+        );
         assert!(!seen.contains(&NodeId(0)));
     }
 

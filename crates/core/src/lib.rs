@@ -7,7 +7,7 @@
 //! * a **statistics collector** ([`stats`]) — every node continuously tracks
 //!   its packet-reception rate and radio-on time and shares them in a 2-byte
 //!   header ([`feedback`]) piggybacked on its data packets;
-//! * **central adaptivity control** ([`adaptivity`], [`state`], [`reward`]) —
+//! * **central adaptivity control** ([`adaptivity`], [`state`], [`mod@reward`]) —
 //!   at the end of each round the coordinator aggregates the collected
 //!   feedback into the DQN input vector of Table I, executes its embedded
 //!   quantized deep Q-network and chooses to *decrease / maintain / increase*
@@ -64,4 +64,4 @@ pub use forwarder::{ForwarderSelection, Role};
 pub use reward::reward;
 pub use runner::{DimmerRoundReport, DimmerRunner, RoundMode};
 pub use state::StateBuilder;
-pub use stats::{GlobalView, NodeStats, StatisticsCollector};
+pub use stats::{GlobalView, NodeStats, StatisticsCollector, DEFAULT_STATS_WINDOW};

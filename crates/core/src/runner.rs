@@ -146,7 +146,7 @@ impl<'a> DimmerRunner<'a> {
             executor,
             scheduler,
             traffic: TrafficPattern::AllToAll,
-            stats: StatisticsCollector::new(num_nodes, 8),
+            stats: StatisticsCollector::new(num_nodes, crate::stats::DEFAULT_STATS_WINDOW),
             view: GlobalView::new(num_nodes),
             state_builder: StateBuilder::new(config.clone()),
             controller: AdaptivityController::new(policy, config.clone()),
@@ -225,8 +225,11 @@ impl<'a> DimmerRunner<'a> {
         //    forwarding mode under the central adaptivity.
         let forwarder_mode = self.config.forwarder.enabled
             && self.calm_rounds >= self.config.forwarder.calm_rounds_threshold;
-        let mode =
-            if forwarder_mode { RoundMode::ForwarderSelection } else { RoundMode::Adaptivity };
+        let mode = if forwarder_mode {
+            RoundMode::ForwarderSelection
+        } else {
+            RoundMode::Adaptivity
+        };
 
         // 2. Sources for this round: fresh traffic plus (with ACKs) pending
         //    retransmissions.
@@ -260,7 +263,8 @@ impl<'a> DimmerRunner<'a> {
         let coordinator = self.topology.coordinator();
         for slot in round.data_slots() {
             if slot.flood.received(coordinator) {
-                self.view.update(slot.source, feedback_before[slot.source.index()]);
+                self.view
+                    .update(slot.source, feedback_before[slot.source.index()]);
             }
         }
         self.view.mark_round();
@@ -279,7 +283,12 @@ impl<'a> DimmerRunner<'a> {
             None => (round.broadcast_reliability(), round.losses()),
         };
         let had_losses = losses > 0;
-        let round_reward = reward(!had_losses, self.ntx, self.config.n_max, self.config.reward_c);
+        let round_reward = reward(
+            !had_losses,
+            self.ntx,
+            self.config.n_max,
+            self.config.reward_c,
+        );
         let energy = self.round_energy(&round);
         self.total_energy_joules += energy;
         // Interference detection: a round counts as calm if essentially every
@@ -348,8 +357,13 @@ impl<'a> DimmerRunner<'a> {
     /// Convenience access to the action the internal policy would take for
     /// the current view and `N_TX` (without applying it).
     pub fn peek_action(&self) -> AdaptivityAction {
-        let state = self.state_builder.build(&self.view, self.ntx);
-        self.controller.decide(&state)
+        self.controller.decide(&self.current_state())
+    }
+
+    /// The Table-I state vector the policy sees for the current view and
+    /// `N_TX` (useful for debugging and offline analysis).
+    pub fn current_state(&self) -> Vec<f32> {
+        self.state_builder.build(&self.view, self.ntx)
     }
 
     fn round_energy(&self, round: &RoundOutcome) -> f64 {
@@ -359,11 +373,7 @@ impl<'a> DimmerRunner<'a> {
             .sum()
     }
 
-    fn track_delivery(
-        &mut self,
-        round: &RoundOutcome,
-        fresh_sources: &[NodeId],
-    ) -> (usize, usize) {
+    fn track_delivery(&mut self, round: &RoundOutcome, fresh_sources: &[NodeId]) -> (usize, usize) {
         let sink = match self.traffic.sink() {
             Some(s) => s,
             None => {
@@ -485,7 +495,10 @@ mod tests {
         let during = runner.ntx();
         runner.run_rounds(15);
         let after = runner.ntx();
-        assert!(during > after, "N_TX should fall back once calm ({during} -> {after})");
+        assert!(
+            during > after,
+            "N_TX should fall back once calm ({during} -> {after})"
+        );
     }
 
     #[test]
@@ -494,7 +507,9 @@ mod tests {
         let mut runner = calm_runner(&topo, &NoInterference, 7);
         let reports = runner.run_rounds(30);
         assert!(
-            reports.iter().any(|r| r.mode == RoundMode::ForwarderSelection),
+            reports
+                .iter()
+                .any(|r| r.mode == RoundMode::ForwarderSelection),
             "a calm network must hand control to the forwarder selection"
         );
     }
@@ -545,8 +560,15 @@ mod tests {
         let make_runner = |acks: bool, seed: u64| {
             let mut c = cfg.clone();
             c.acknowledgements = acks;
-            DimmerRunner::new(&topo, &interference, lwb.clone(), c, AdaptivityPolicy::rule_based(), seed)
-                .with_traffic(traffic.clone())
+            DimmerRunner::new(
+                &topo,
+                &interference,
+                lwb.clone(),
+                c,
+                AdaptivityPolicy::rule_based(),
+                seed,
+            )
+            .with_traffic(traffic.clone())
         };
         let mut with_acks = make_runner(true, 4);
         let mut without_acks = make_runner(false, 4);

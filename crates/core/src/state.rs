@@ -88,7 +88,10 @@ impl StateBuilder {
         let k = self.config.k_input_nodes;
         let selected: Vec<FeedbackHeader> = (0..k)
             .map(|i| {
-                worst.get(i).map(|&n| view.feedback(n)).unwrap_or_else(FeedbackHeader::pessimistic)
+                worst
+                    .get(i)
+                    .map(|&n| view.feedback(n))
+                    .unwrap_or_else(FeedbackHeader::pessimistic)
             })
             .collect();
 
@@ -121,10 +124,17 @@ mod tests {
     use proptest::prelude::*;
 
     fn view_with(rels: &[(u16, f64, u64)]) -> GlobalView {
-        let n = rels.iter().map(|(i, _, _)| *i as usize + 1).max().unwrap_or(1);
+        let n = rels
+            .iter()
+            .map(|(i, _, _)| *i as usize + 1)
+            .max()
+            .unwrap_or(1);
         let mut v = GlobalView::new(n);
         for &(i, rel, on_us) in rels {
-            v.update(NodeId(i), FeedbackHeader::new(rel, SimDuration::from_micros(on_us)));
+            v.update(
+                NodeId(i),
+                FeedbackHeader::new(rel, SimDuration::from_micros(on_us)),
+            );
         }
         v
     }
@@ -150,7 +160,11 @@ mod tests {
         assert!((StateBuilder::normalize_radio_on(10_000)).abs() < 1e-6);
         assert_eq!(StateBuilder::normalize_reliability(1.0), 1.0);
         assert_eq!(StateBuilder::normalize_reliability(0.5), -1.0);
-        assert_eq!(StateBuilder::normalize_reliability(0.2), -1.0, "below 50% maps to -1");
+        assert_eq!(
+            StateBuilder::normalize_reliability(0.2),
+            -1.0,
+            "below 50% maps to -1"
+        );
         assert!((StateBuilder::normalize_reliability(0.75)).abs() < 1e-6);
     }
 
@@ -174,7 +188,10 @@ mod tests {
         let builder = StateBuilder::new(cfg);
         let mut view = GlobalView::new(4);
         for i in 0..4u16 {
-            view.update(NodeId(i), FeedbackHeader::new(1.0, SimDuration::from_millis(5)));
+            view.update(
+                NodeId(i),
+                FeedbackHeader::new(1.0, SimDuration::from_millis(5)),
+            );
         }
         let state = builder.build(&view, 3);
         // Radio-on rows 4..10 = +1 (100% of 20 ms), reliability rows 14..20 = -1.

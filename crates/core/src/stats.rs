@@ -12,6 +12,11 @@ use dimmer_lwb::RoundOutcome;
 use dimmer_sim::{NodeId, SimDuration};
 use std::collections::VecDeque;
 
+/// The sliding-window length (in rounds) every node averages its local
+/// statistics over, both in the deployed protocol and in the trace-driven
+/// training environment (which must observe through the same pipeline).
+pub const DEFAULT_STATS_WINDOW: usize = 8;
+
 /// A node's local performance statistics over a sliding window of recent
 /// rounds.
 ///
@@ -41,7 +46,11 @@ impl NodeStats {
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        NodeStats { window, reliabilities: VecDeque::new(), radio_on: VecDeque::new() }
+        NodeStats {
+            window,
+            reliabilities: VecDeque::new(),
+            radio_on: VecDeque::new(),
+        }
     }
 
     /// Records the node's observation of one round: the fraction of expected
@@ -90,7 +99,7 @@ impl NodeStats {
 
 impl Default for NodeStats {
     fn default() -> Self {
-        Self::new(8)
+        Self::new(DEFAULT_STATS_WINDOW)
     }
 }
 
@@ -106,7 +115,9 @@ impl StatisticsCollector {
     /// Creates a collector for `num_nodes` nodes with the given averaging
     /// window.
     pub fn new(num_nodes: usize, window: usize) -> Self {
-        StatisticsCollector { per_node: (0..num_nodes).map(|_| NodeStats::new(window)).collect() }
+        StatisticsCollector {
+            per_node: (0..num_nodes).map(|_| NodeStats::new(window)).collect(),
+        }
     }
 
     /// Number of tracked nodes.
@@ -121,6 +132,16 @@ impl StatisticsCollector {
     /// Panics if `node` is out of range.
     pub fn node(&self, node: NodeId) -> &NodeStats {
         &self.per_node[node.index()]
+    }
+
+    /// Mutable access to one node's statistics (used by replayed/trace-driven
+    /// rounds that record observations without a [`RoundOutcome`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_mut(&mut self, node: NodeId) -> &mut NodeStats {
+        &mut self.per_node[node.index()]
     }
 
     /// Ingests one executed round: every node records the fraction of other
@@ -270,21 +291,31 @@ mod tests {
     fn global_view_starts_pessimistic_and_updates() {
         let mut v = GlobalView::new(2);
         assert_eq!(v.feedback(NodeId(0)).reliability(), 0.0);
-        v.update(NodeId(0), FeedbackHeader::new(1.0, SimDuration::from_millis(5)));
+        v.update(
+            NodeId(0),
+            FeedbackHeader::new(1.0, SimDuration::from_millis(5)),
+        );
         assert_eq!(v.feedback(NodeId(0)).reliability(), 1.0);
     }
 
     #[test]
     fn stale_entries_decay_to_pessimistic() {
         let mut v = GlobalView::new(1);
-        v.update(NodeId(0), FeedbackHeader::new(0.9, SimDuration::from_millis(5)));
+        v.update(
+            NodeId(0),
+            FeedbackHeader::new(0.9, SimDuration::from_millis(5)),
+        );
         v.mark_round();
         // Still within the staleness limit.
         v.mark_round();
         v.mark_round();
         assert!(v.feedback(NodeId(0)).reliability() > 0.0);
         v.mark_round();
-        assert_eq!(v.feedback(NodeId(0)).reliability(), 0.0, "stale entry must decay");
+        assert_eq!(
+            v.feedback(NodeId(0)).reliability(),
+            0.0,
+            "stale entry must decay"
+        );
     }
 
     #[test]
@@ -299,7 +330,10 @@ mod tests {
     #[test]
     fn worst_nodes_tie_break_is_deterministic() {
         let v = GlobalView::new(4);
-        assert_eq!(v.worst_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            v.worst_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 
     proptest! {

@@ -103,7 +103,10 @@ impl GlossyConfig {
     /// Creates a configuration with the given uniform `N_TX` and otherwise
     /// paper-default parameters.
     pub fn with_uniform_ntx(n_tx: u8) -> Self {
-        GlossyConfig { ntx: NtxAssignment::Uniform(n_tx), ..Self::default() }
+        GlossyConfig {
+            ntx: NtxAssignment::Uniform(n_tx),
+            ..Self::default()
+        }
     }
 
     /// Replaces the `N_TX` assignment.
@@ -182,7 +185,7 @@ mod tests {
     fn a_20ms_slot_fits_more_than_a_dozen_relay_slots() {
         let cfg = GlossyConfig::default();
         let n = cfg.max_relay_slots();
-        assert!(n >= 12 && n <= 20, "got {n}");
+        assert!((12..=20).contains(&n), "got {n}");
     }
 
     #[test]

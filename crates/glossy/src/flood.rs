@@ -63,7 +63,10 @@ impl<'a> FloodSimulator<'a> {
     /// Creates a flood simulator for the given topology and interference
     /// environment.
     pub fn new(topology: &'a Topology, interference: &'a dyn InterferenceModel) -> Self {
-        FloodSimulator { topology, interference }
+        FloodSimulator {
+            topology,
+            interference,
+        }
     }
 
     /// The topology this simulator floods over.
@@ -99,9 +102,16 @@ impl<'a> FloodSimulator<'a> {
         participants: &[bool],
     ) -> FloodOutcome {
         let n = self.topology.num_nodes();
-        assert_eq!(participants.len(), n, "participation mask must cover every node");
+        assert_eq!(
+            participants.len(),
+            n,
+            "participation mask must cover every node"
+        );
         assert!(initiator.index() < n, "initiator out of range");
-        assert!(participants[initiator.index()], "the initiator must participate in its own flood");
+        assert!(
+            participants[initiator.index()],
+            "the initiator must participate in its own flood"
+        );
 
         let slot_dur = cfg.relay_slot_duration();
         let airtime = cfg.packet_airtime();
@@ -161,6 +171,9 @@ impl<'a> FloodSimulator<'a> {
                 } else {
                     1.0
                 };
+                // Indexed loop: the body re-borrows `states[i]` mutably on
+                // reception, which rules out a plain iterator.
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..n {
                     let receiver = NodeId(i as u16);
                     if transmitters.contains(&receiver) {
@@ -251,7 +264,12 @@ mod tests {
 
     fn calm_flood(topo: &Topology, cfg: &GlossyConfig, seed: u64) -> FloodOutcome {
         let sim = FloodSimulator::new(topo, &NoInterference);
-        sim.flood(cfg, topo.coordinator(), SimTime::ZERO, &mut SimRng::seed_from(seed))
+        sim.flood(
+            cfg,
+            topo.coordinator(),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(seed),
+        )
     }
 
     #[test]
@@ -276,7 +294,10 @@ mod tests {
             total += topo.num_nodes();
         }
         let reliability = received as f64 / total as f64;
-        assert!(reliability > 0.99, "calm Glossy should be >99% reliable, got {reliability}");
+        assert!(
+            reliability > 0.99,
+            "calm Glossy should be >99% reliable, got {reliability}"
+        );
     }
 
     #[test]
@@ -295,8 +316,16 @@ mod tests {
             let cfg = GlossyConfig::with_uniform_ntx(ntx);
             let out = calm_flood(&topo, &cfg, ntx as u64);
             for (i, o) in out.per_node().iter().enumerate() {
-                let bound = if NodeId(i as u16) == out.initiator() { ntx.max(1) } else { ntx };
-                assert!(o.relays <= bound, "node {i} relayed {} times with N_TX={ntx}", o.relays);
+                let bound = if NodeId(i as u16) == out.initiator() {
+                    ntx.max(1)
+                } else {
+                    ntx
+                };
+                assert!(
+                    o.relays <= bound,
+                    "node {i} relayed {} times with N_TX={ntx}",
+                    o.relays
+                );
             }
         }
     }
@@ -332,7 +361,10 @@ mod tests {
         let topo = Topology::kiel_testbed_18(5);
         let low = calm_flood(&topo, &GlossyConfig::with_uniform_ntx(1), 7).mean_radio_on();
         let high = calm_flood(&topo, &GlossyConfig::with_uniform_ntx(8), 7).mean_radio_on();
-        assert!(high > low, "N_TX=8 ({high}) should cost more than N_TX=1 ({low})");
+        assert!(
+            high > low,
+            "N_TX=8 ({high}) should cost more than N_TX=1 ({low})"
+        );
     }
 
     #[test]
@@ -353,7 +385,9 @@ mod tests {
             for r in 0..runs {
                 // Advance the start time so floods sample different burst phases.
                 let start = SimTime::from_millis(r * 37);
-                acc += sim.flood(&cfg, topo.coordinator(), start, &mut rng).reliability();
+                acc += sim
+                    .flood(&cfg, topo.coordinator(), start, &mut rng)
+                    .reliability();
             }
             rel[idx] = acc / runs as f64;
         }
@@ -368,8 +402,8 @@ mod tests {
     #[test]
     fn blanket_jamming_kills_the_flood() {
         let topo = Topology::kiel_testbed_18(7);
-        let jam = PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 1.0)
-            .with_jam_radius(100.0);
+        let jam =
+            PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 1.0).with_jam_radius(100.0);
         let sim = FloodSimulator::new(&topo, &jam);
         let out = sim.flood(
             &GlossyConfig::default(),
@@ -377,7 +411,11 @@ mod tests {
             SimTime::ZERO,
             &mut SimRng::seed_from(3),
         );
-        assert_eq!(out.reach_count(), 1, "only the initiator should hold the packet");
+        assert_eq!(
+            out.reach_count(),
+            1,
+            "only the initiator should hold the packet"
+        );
         // Every non-initiator keeps listening for the full 20 ms budget.
         for (i, o) in out.per_node().iter().enumerate() {
             if NodeId(i as u16) != out.initiator() {

@@ -66,7 +66,11 @@ impl FloodOutcome {
             initiator.index() < per_node.len(),
             "initiator must be covered by the per-node outcomes"
         );
-        FloodOutcome { initiator, per_node, duration }
+        FloodOutcome {
+            initiator,
+            per_node,
+            duration,
+        }
     }
 
     /// The node that initiated (sourced) the flood.
@@ -142,7 +146,10 @@ impl FloodOutcome {
         if participants.is_empty() {
             return SimDuration::ZERO;
         }
-        let total: u64 = participants.iter().map(|o| o.radio.on_time().as_micros()).sum();
+        let total: u64 = participants
+            .iter()
+            .map(|o| o.radio.on_time().as_micros())
+            .sum();
         SimDuration::from_micros(total / participants.len() as u64)
     }
 }
@@ -184,7 +191,10 @@ mod tests {
     fn receiver_reliability_is_one_without_receivers() {
         let out = FloodOutcome::new(
             NodeId(0),
-            vec![NodeFloodOutcome { participated: true, ..Default::default() }],
+            vec![NodeFloodOutcome {
+                participated: true,
+                ..Default::default()
+            }],
             SimDuration::ZERO,
         );
         assert_eq!(out.receiver_reliability(), 1.0);
@@ -192,9 +202,15 @@ mod tests {
 
     #[test]
     fn mean_radio_on_averages_participants_only() {
-        let mut a = NodeFloodOutcome { participated: true, ..Default::default() };
+        let mut a = NodeFloodOutcome {
+            participated: true,
+            ..Default::default()
+        };
         a.radio.record(RadioState::Rx, SimDuration::from_millis(10));
-        let mut b = NodeFloodOutcome { participated: true, ..Default::default() };
+        let mut b = NodeFloodOutcome {
+            participated: true,
+            ..Default::default()
+        };
         b.radio.record(RadioState::Rx, SimDuration::from_millis(20));
         let c = NodeFloodOutcome::not_participating();
         let out = FloodOutcome::new(NodeId(0), vec![a, b, c], SimDuration::from_millis(20));
@@ -204,6 +220,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "initiator must be covered")]
     fn outcome_rejects_out_of_range_initiator() {
-        FloodOutcome::new(NodeId(5), vec![NodeFloodOutcome::default()], SimDuration::ZERO);
+        FloodOutcome::new(
+            NodeId(5),
+            vec![NodeFloodOutcome::default()],
+            SimDuration::ZERO,
+        );
     }
 }

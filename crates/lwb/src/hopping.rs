@@ -40,7 +40,9 @@ impl HoppingSequence {
     /// A degenerate "sequence" that always stays on one channel (used by the
     /// single-channel LWB baseline).
     pub fn single_channel(channel: Channel) -> Self {
-        HoppingSequence { channels: vec![channel] }
+        HoppingSequence {
+            channels: vec![channel],
+        }
     }
 
     /// Builds a sequence from explicit channels.
@@ -49,7 +51,10 @@ impl HoppingSequence {
     ///
     /// Panics if `channels` is empty.
     pub fn from_channels(channels: Vec<Channel>) -> Self {
-        assert!(!channels.is_empty(), "a hopping sequence needs at least one channel");
+        assert!(
+            !channels.is_empty(),
+            "a hopping sequence needs at least one channel"
+        );
         HoppingSequence { channels }
     }
 
@@ -104,9 +109,14 @@ mod tests {
 
     #[test]
     fn control_channel_is_26() {
-        assert_eq!(HoppingSequence::dimmer_default().control_channel().index(), 26);
         assert_eq!(
-            HoppingSequence::single_channel(Channel::new(15).unwrap()).control_channel().index(),
+            HoppingSequence::dimmer_default().control_channel().index(),
+            26
+        );
+        assert_eq!(
+            HoppingSequence::single_channel(Channel::new(15).unwrap())
+                .control_channel()
+                .index(),
             26
         );
     }
@@ -123,7 +133,10 @@ mod tests {
     fn sequence_wraps_around() {
         let seq = HoppingSequence::dimmer_default();
         for slot in 0..seq.len() as u64 {
-            assert_eq!(seq.data_channel(slot), seq.data_channel(slot + seq.len() as u64));
+            assert_eq!(
+                seq.data_channel(slot),
+                seq.data_channel(slot + seq.len() as u64)
+            );
         }
     }
 

@@ -114,7 +114,11 @@ impl RoundOutcome {
         if self.data.is_empty() {
             return 1.0;
         }
-        let got = self.data.iter().filter(|s| s.source == sink || s.flood.received(sink)).count();
+        let got = self
+            .data
+            .iter()
+            .filter(|s| s.source == sink || s.flood.received(sink))
+            .count();
         got as f64 / self.data.len() as f64
     }
 
@@ -211,7 +215,11 @@ impl<'a> RoundExecutor<'a> {
         interference: &'a dyn InterferenceModel,
         config: LwbConfig,
     ) -> Self {
-        RoundExecutor { topology, interference, config }
+        RoundExecutor {
+            topology,
+            interference,
+            config,
+        }
     }
 
     /// The topology rounds are executed over.
@@ -245,16 +253,17 @@ impl<'a> RoundExecutor<'a> {
             ..GlossyConfig::default()
         };
         let control = flood_sim.flood(&control_cfg, self.topology.coordinator(), start, rng);
-        let synced: Vec<bool> =
-            (0..n).map(|i| control.received(NodeId(i as u16))).collect();
+        let synced: Vec<bool> = (0..n).map(|i| control.received(NodeId(i as u16))).collect();
 
         // Data slots.
         let mut data = Vec::with_capacity(schedule.num_data_slots());
         for (slot_idx, &source) in schedule.slots().iter().enumerate() {
             let slot_start = start + slot_advance * (slot_idx as u64 + 1);
             let channel = if self.config.channel_hopping {
-                let absolute =
-                    schedule.round_index().wrapping_mul(31).wrapping_add(slot_idx as u64);
+                let absolute = schedule
+                    .round_index()
+                    .wrapping_mul(31)
+                    .wrapping_add(slot_idx as u64);
                 self.config.hopping.data_channel(absolute)
             } else {
                 self.config.hopping.control_channel()
@@ -277,7 +286,11 @@ impl<'a> RoundExecutor<'a> {
                         if synced[i] {
                             let mut radio = RadioAccounting::new();
                             radio.record(RadioState::Rx, self.config.slot_duration);
-                            NodeFloodOutcome { participated: true, radio, ..Default::default() }
+                            NodeFloodOutcome {
+                                participated: true,
+                                radio,
+                                ..Default::default()
+                            }
                         } else {
                             NodeFloodOutcome::not_participating()
                         }
@@ -285,7 +298,11 @@ impl<'a> RoundExecutor<'a> {
                     .collect();
                 FloodOutcome::new(source, per_node, self.config.slot_duration)
             };
-            data.push(SlotOutcome { source, channel, flood });
+            data.push(SlotOutcome {
+                source,
+                channel,
+                flood,
+            });
         }
 
         RoundOutcome {
@@ -326,12 +343,22 @@ mod tests {
     #[test]
     fn calm_round_is_nearly_perfect() {
         let round = run_testbed_round(&NoInterference, 3, 3, false);
-        assert!(round.synced().iter().all(|&s| s), "everyone hears the schedule when calm");
-        assert!(round.broadcast_reliability() > 0.98, "got {}", round.broadcast_reliability());
+        assert!(
+            round.synced().iter().all(|&s| s),
+            "everyone hears the schedule when calm"
+        );
+        assert!(
+            round.broadcast_reliability() > 0.98,
+            "got {}",
+            round.broadcast_reliability()
+        );
         assert_eq!(round.data_slots().len(), 18);
         // Calm radio-on time is well below the 20 ms slot budget (paper: ~8-11 ms).
         let on = round.mean_radio_on_per_slot().as_millis_f64();
-        assert!(on > 4.0 && on < 14.0, "radio-on {on} ms out of the expected calm range");
+        assert!(
+            on > 4.0 && on < 14.0,
+            "radio-on {on} ms out of the expected calm range"
+        );
     }
 
     #[test]
@@ -345,13 +372,16 @@ mod tests {
 
     #[test]
     fn heavy_jamming_desyncs_nodes_and_costs_energy() {
-        let jammer = PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 0.95)
-            .with_jam_radius(60.0);
+        let jammer =
+            PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 0.95).with_jam_radius(60.0);
         let jammed = run_testbed_round(&jammer, 3, 5, false);
         let calm = run_testbed_round(&NoInterference, 3, 5, false);
         assert!(jammed.broadcast_reliability() < calm.broadcast_reliability());
         assert!(jammed.mean_radio_on_per_slot() > calm.mean_radio_on_per_slot());
-        assert!(jammed.synced().iter().filter(|&&s| !s).count() > 0, "some nodes must miss the schedule");
+        assert!(
+            jammed.synced().iter().filter(|&&s| !s).count() > 0,
+            "some nodes must miss the schedule"
+        );
     }
 
     #[test]
@@ -361,8 +391,8 @@ mod tests {
         // Hand-build a round outcome via the executor with a jammer strong
         // enough that at least one source misses the schedule, then check the
         // invariant on its slot.
-        let jammer = PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 0.97)
-            .with_jam_radius(60.0);
+        let jammer =
+            PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 0.97).with_jam_radius(60.0);
         let mut scheduler = LwbScheduler::new(cfg.clone());
         let sources: Vec<NodeId> = topo.node_ids().collect();
         let schedule = scheduler.next_schedule(&sources, NtxAssignment::Uniform(3));
@@ -379,22 +409,35 @@ mod tests {
                 }
             }
         }
-        assert!(saw_unsynced_source, "scenario should produce at least one unsynced source");
+        assert!(
+            saw_unsynced_source,
+            "scenario should produce at least one unsynced source"
+        );
     }
 
     #[test]
     fn channel_hopping_uses_multiple_channels() {
         let round = run_testbed_round(&NoInterference, 3, 4, true);
-        let mut channels: Vec<u8> = round.data_slots().iter().map(|s| s.channel.index()).collect();
+        let mut channels: Vec<u8> = round
+            .data_slots()
+            .iter()
+            .map(|s| s.channel.index())
+            .collect();
         channels.sort_unstable();
         channels.dedup();
-        assert!(channels.len() >= 4, "hopping should spread slots over channels, got {channels:?}");
+        assert!(
+            channels.len() >= 4,
+            "hopping should spread slots over channels, got {channels:?}"
+        );
     }
 
     #[test]
     fn single_channel_mode_stays_on_26() {
         let round = run_testbed_round(&NoInterference, 3, 4, false);
-        assert!(round.data_slots().iter().all(|s| s.channel == Channel::CONTROL));
+        assert!(round
+            .data_slots()
+            .iter()
+            .all(|s| s.channel == Channel::CONTROL));
     }
 
     #[test]

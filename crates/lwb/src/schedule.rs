@@ -33,7 +33,11 @@ impl Schedule {
     /// Creates a schedule for round `round_index` with one data slot per
     /// entry of `slots`.
     pub fn new(round_index: u64, slots: Vec<NodeId>, ntx: NtxAssignment) -> Self {
-        Schedule { round_index, slots, ntx }
+        Schedule {
+            round_index,
+            slots,
+            ntx,
+        }
     }
 
     /// The index of the round this schedule belongs to.
@@ -100,7 +104,11 @@ pub struct LwbScheduler {
 impl LwbScheduler {
     /// Creates a scheduler with the given configuration.
     pub fn new(config: LwbConfig) -> Self {
-        LwbScheduler { config, next_round: 0, absolute_data_slots: 0 }
+        LwbScheduler {
+            config,
+            next_round: 0,
+            absolute_data_slots: 0,
+        }
     }
 
     /// The scheduler's configuration.
@@ -159,7 +167,10 @@ mod tests {
     fn scheduler_counts_rounds_and_slots() {
         let mut sched = LwbScheduler::new(LwbConfig::testbed_default());
         assert_eq!(sched.next_round_index(), 0);
-        sched.next_schedule(&[NodeId(0), NodeId(1), NodeId(2)], NtxAssignment::Uniform(3));
+        sched.next_schedule(
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            NtxAssignment::Uniform(3),
+        );
         sched.next_schedule(&[NodeId(0)], NtxAssignment::Uniform(3));
         assert_eq!(sched.next_round_index(), 2);
         assert_eq!(sched.absolute_data_slots(), 4);

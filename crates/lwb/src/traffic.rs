@@ -10,10 +10,11 @@ use dimmer_sim::{NodeId, SimRng};
 
 /// Which nodes generate traffic each round, and who the intended
 /// destinations are.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum TrafficPattern {
     /// Every node sources one packet per round; every other node is a
     /// destination.
+    #[default]
     AllToAll,
     /// A fixed set of sources sends towards a single sink. Each source has a
     /// packet ready in a given round with probability `send_probability`
@@ -40,14 +41,22 @@ impl TrafficPattern {
             .map(|i| NodeId((num_nodes - 1 - i * (num_nodes - 2) / num_sources.max(1)) as u16))
             .filter(|&n| n != sink)
             .collect();
-        TrafficPattern::Collection { sources, sink, send_probability: 0.5 }
+        TrafficPattern::Collection {
+            sources,
+            sink,
+            send_probability: 0.5,
+        }
     }
 
     /// The nodes that have a packet to send in the upcoming round.
     pub fn sources_for_round(&self, all_nodes: &[NodeId], rng: &mut SimRng) -> Vec<NodeId> {
         match self {
             TrafficPattern::AllToAll => all_nodes.to_vec(),
-            TrafficPattern::Collection { sources, send_probability, .. } => sources
+            TrafficPattern::Collection {
+                sources,
+                send_probability,
+                ..
+            } => sources
                 .iter()
                 .copied()
                 .filter(|_| rng.chance(*send_probability))
@@ -75,12 +84,6 @@ impl TrafficPattern {
     }
 }
 
-impl Default for TrafficPattern {
-    fn default() -> Self {
-        TrafficPattern::AllToAll
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,7 +96,10 @@ mod tests {
     fn all_to_all_sources_everyone_every_round() {
         let all = nodes(18);
         let mut rng = SimRng::seed_from(1);
-        assert_eq!(TrafficPattern::AllToAll.sources_for_round(&all, &mut rng), all);
+        assert_eq!(
+            TrafficPattern::AllToAll.sources_for_round(&all, &mut rng),
+            all
+        );
     }
 
     #[test]
@@ -145,7 +151,13 @@ mod tests {
             }
         }
         let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
-        assert!(avg > 1.5 && avg < 3.5, "average active sources {avg} should be around 2.5");
-        assert!(counts.iter().any(|&c| c != counts[0]), "source count should vary across rounds");
+        assert!(
+            avg > 1.5 && avg < 3.5,
+            "average active sources {avg} should be around 2.5"
+        );
+        assert!(
+            counts.iter().any(|&c| c != counts[0]),
+            "source count should vary across rounds"
+        );
     }
 }

@@ -58,9 +58,17 @@ impl Layer {
     fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut StdRng) -> Self {
         // He initialization, appropriate for ReLU networks.
         let std = (2.0 / inputs as f32).sqrt();
-        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-std..std)).collect();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-std..std))
+            .collect();
         let biases = vec![0.0; outputs];
-        Layer { weights, biases, inputs, outputs, activation }
+        Layer {
+            weights,
+            biases,
+            inputs,
+            outputs,
+            activation,
+        }
     }
 
     fn forward(&self, input: &[f32], pre: &mut Vec<f32>, out: &mut Vec<f32>) {
@@ -104,13 +112,19 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given or any size is zero.
     pub fn new(sizes: &[usize], seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "need at least an input and an output layer");
+        assert!(
+            sizes.len() >= 2,
+            "need at least an input and an output layer"
+        );
         assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for w in 0..sizes.len() - 1 {
-            let activation =
-                if w + 2 == sizes.len() { Activation::Linear } else { Activation::Relu };
+            let activation = if w + 2 == sizes.len() {
+                Activation::Linear
+            } else {
+                Activation::Relu
+            };
             layers.push(Layer::new(sizes[w], sizes[w + 1], activation, &mut rng));
         }
         Mlp { layers }
@@ -146,7 +160,10 @@ impl Mlp {
 
     /// Total number of trainable parameters (weights + biases).
     pub fn num_parameters(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
     }
 
     /// Forward pass.
@@ -193,7 +210,10 @@ impl Mlp {
         learning_rate: f32,
     ) -> f32 {
         assert_eq!(input.len(), self.num_inputs(), "input size mismatch");
-        assert!(output_index < self.num_outputs(), "output index out of range");
+        assert!(
+            output_index < self.num_outputs(),
+            "output index out of range"
+        );
 
         // Forward pass, keeping pre-activations and activations per layer.
         let mut activations: Vec<Vec<f32>> = vec![input.to_vec()];
@@ -213,7 +233,8 @@ impl Mlp {
         // Backward pass: delta on the output layer is non-zero only at
         // `output_index`.
         let mut delta: Vec<f32> = vec![0.0; self.num_outputs()];
-        delta[output_index] = 2.0 * error
+        delta[output_index] = 2.0
+            * error
             * self
                 .layers
                 .last()
@@ -227,33 +248,37 @@ impl Mlp {
             let mut prev_delta = vec![0.0f32; self.layers[l].inputs];
             {
                 let layer = &self.layers[l];
-                for o in 0..layer.outputs {
-                    if delta[o] == 0.0 {
+                for (o, &d) in delta.iter().enumerate() {
+                    if d == 0.0 {
                         continue;
                     }
-                    for i in 0..layer.inputs {
-                        prev_delta[i] += layer.weights[o * layer.inputs + i] * delta[o];
+                    let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (p, &w) in prev_delta.iter_mut().zip(row) {
+                        *p += w * d;
                     }
                 }
             }
             // Gradient step.
             {
                 let layer = &mut self.layers[l];
-                for o in 0..layer.outputs {
-                    if delta[o] == 0.0 {
+                let inputs = layer.inputs;
+                for (o, &d) in delta.iter().enumerate() {
+                    if d == 0.0 {
                         continue;
                     }
-                    for i in 0..layer.inputs {
-                        layer.weights[o * layer.inputs + i] -=
-                            learning_rate * delta[o] * input_act[i];
+                    let row = &mut layer.weights[o * inputs..(o + 1) * inputs];
+                    for (w, &a) in row.iter_mut().zip(&input_act) {
+                        *w -= learning_rate * d * a;
                     }
-                    layer.biases[o] -= learning_rate * delta[o];
+                    layer.biases[o] -= learning_rate * d;
                 }
             }
             if l > 0 {
                 // Apply the activation derivative of the previous layer.
                 for (i, d) in prev_delta.iter_mut().enumerate() {
-                    *d *= self.layers[l - 1].activation.derivative(pre_activations[l - 1][i]);
+                    *d *= self.layers[l - 1]
+                        .activation
+                        .derivative(pre_activations[l - 1][i]);
                 }
             }
             delta = prev_delta;
@@ -321,8 +346,12 @@ mod tests {
     #[test]
     fn training_reduces_loss_on_a_small_function_fit() {
         // Fit q(x) for 4 discrete states and 2 actions: a tiny sanity task.
-        let states: Vec<Vec<f32>> =
-            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let states: Vec<Vec<f32>> = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
         let targets = [[0.0, 1.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]];
         let mut net = Mlp::new(&[2, 24, 2], 11);
         let mut first_loss = 0.0;

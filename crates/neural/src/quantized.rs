@@ -68,7 +68,10 @@ impl QuantizedNetwork {
     /// Bytes of flash needed to store the quantized weights and biases
     /// (2 bytes per parameter, as on the TelosB implementation).
     pub fn flash_size_bytes(&self) -> usize {
-        self.layers.iter().map(|l| 2 * (l.weights.len() + l.biases.len())).sum()
+        self.layers
+            .iter()
+            .map(|l| 2 * (l.weights.len() + l.biases.len()))
+            .sum()
     }
 
     /// Bytes of RAM needed for the two intermediate activation buffers
@@ -119,7 +122,10 @@ impl QuantizedNetwork {
     /// to the fixed-point grid first).
     pub fn forward_f32(&self, input: &[f32]) -> Vec<f32> {
         let fixed: Vec<i32> = input.iter().map(|&x| to_fixed(x) as i32).collect();
-        self.forward_fixed(&fixed).into_iter().map(from_fixed).collect()
+        self.forward_fixed(&fixed)
+            .into_iter()
+            .map(from_fixed)
+            .collect()
     }
 
     /// Greedy action: index of the largest Q-value for the given fixed-point
@@ -175,13 +181,17 @@ mod tests {
         let mut agree = 0;
         let total = 200;
         for k in 0..total {
-            let input: Vec<f32> =
-                (0..8).map(|i| (((k * 7 + i * 13) % 21) as f32 / 10.0) - 1.0).collect();
+            let input: Vec<f32> = (0..8)
+                .map(|i| (((k * 7 + i * 13) % 21) as f32 / 10.0) - 1.0)
+                .collect();
             if mlp.argmax(&input) == q.argmax_f32(&input) {
                 agree += 1;
             }
         }
-        assert!(agree as f64 / total as f64 > 0.9, "agreement {agree}/{total}");
+        assert!(
+            agree as f64 / total as f64 > 0.9,
+            "agreement {agree}/{total}"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub struct ParseNetworkError {
 
 impl ParseNetworkError {
     fn new(message: impl Into<String>) -> Self {
-        ParseNetworkError { message: message.into() }
+        ParseNetworkError {
+            message: message.into(),
+        }
     }
 }
 
@@ -75,12 +77,21 @@ pub fn to_text(mlp: &Mlp) -> String {
 /// Returns a [`ParseNetworkError`] if the header, layer declarations or
 /// weight/bias lines are malformed or inconsistent.
 pub fn from_text(text: &str) -> Result<Mlp, ParseNetworkError> {
-    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
-    let header = lines.next().ok_or_else(|| ParseNetworkError::new("empty file"))?;
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseNetworkError::new("empty file"))?;
     if header != "mlp v1" {
-        return Err(ParseNetworkError::new(format!("unsupported header `{header}`")));
+        return Err(ParseNetworkError::new(format!(
+            "unsupported header `{header}`"
+        )));
     }
-    let layers_line = lines.next().ok_or_else(|| ParseNetworkError::new("missing layer count"))?;
+    let layers_line = lines
+        .next()
+        .ok_or_else(|| ParseNetworkError::new("missing layer count"))?;
     let count: usize = layers_line
         .strip_prefix("layers ")
         .and_then(|v| v.parse().ok())
@@ -88,10 +99,14 @@ pub fn from_text(text: &str) -> Result<Mlp, ParseNetworkError> {
 
     let mut layers = Vec::with_capacity(count);
     for _ in 0..count {
-        let decl = lines.next().ok_or_else(|| ParseNetworkError::new("missing layer header"))?;
+        let decl = lines
+            .next()
+            .ok_or_else(|| ParseNetworkError::new("missing layer header"))?;
         let mut parts = decl.split_whitespace();
         if parts.next() != Some("layer") {
-            return Err(ParseNetworkError::new(format!("expected `layer`, got `{decl}`")));
+            return Err(ParseNetworkError::new(format!(
+                "expected `layer`, got `{decl}`"
+            )));
         }
         let inputs: usize = parts
             .next()
@@ -110,7 +125,9 @@ pub fn from_text(text: &str) -> Result<Mlp, ParseNetworkError> {
         };
         let mut weights = Vec::with_capacity(inputs * outputs);
         for _ in 0..outputs {
-            let row = lines.next().ok_or_else(|| ParseNetworkError::new("missing weight row"))?;
+            let row = lines
+                .next()
+                .ok_or_else(|| ParseNetworkError::new("missing weight row"))?;
             let rest = row
                 .strip_prefix("w ")
                 .ok_or_else(|| ParseNetworkError::new("weight row must start with `w `"))?;
@@ -121,7 +138,9 @@ pub fn from_text(text: &str) -> Result<Mlp, ParseNetworkError> {
             }
             weights.extend(values);
         }
-        let bias_line = lines.next().ok_or_else(|| ParseNetworkError::new("missing bias row"))?;
+        let bias_line = lines
+            .next()
+            .ok_or_else(|| ParseNetworkError::new("missing bias row"))?;
         let rest = bias_line
             .strip_prefix("b ")
             .ok_or_else(|| ParseNetworkError::new("bias row must start with `b `"))?;
@@ -130,7 +149,13 @@ pub fn from_text(text: &str) -> Result<Mlp, ParseNetworkError> {
         if biases.len() != outputs {
             return Err(ParseNetworkError::new("bias row length mismatch"));
         }
-        layers.push(Layer { weights, biases, inputs, outputs, activation });
+        layers.push(Layer {
+            weights,
+            biases,
+            inputs,
+            outputs,
+            activation,
+        });
     }
     for pair in layers.windows(2) {
         if pair[0].outputs != pair[1].inputs {

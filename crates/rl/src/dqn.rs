@@ -139,11 +139,21 @@ impl DqnTrainer {
     ///
     /// Panics if `state_dim` or `num_actions` is zero.
     pub fn new(state_dim: usize, num_actions: usize, config: DqnConfig, seed: u64) -> Self {
-        assert!(state_dim > 0 && num_actions > 0, "state and action spaces must be non-empty");
+        assert!(
+            state_dim > 0 && num_actions > 0,
+            "state and action spaces must be non-empty"
+        );
         let online = Mlp::new(&[state_dim, config.hidden_neurons, num_actions], seed);
         let target = online.clone();
         let replay = ReplayBuffer::new(config.replay_capacity);
-        DqnTrainer { online, target, replay, config, rng: StdRng::seed_from_u64(seed ^ 0xD9), steps: 0 }
+        DqnTrainer {
+            online,
+            target,
+            replay,
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0xD9),
+            steps: 0,
+        }
     }
 
     /// The current exploration rate, annealed linearly from
@@ -188,7 +198,7 @@ impl DqnTrainer {
     pub fn observe(&mut self, transition: Transition) -> Option<f32> {
         self.replay.push(transition);
         self.steps += 1;
-        if self.steps % self.config.target_sync_interval == 0 {
+        if self.steps.is_multiple_of(self.config.target_sync_interval) {
             self.target = self.online.clone();
         }
         if self.replay.len() < self.config.warmup_transitions {
@@ -224,8 +234,16 @@ impl DqnTrainer {
     /// reward per step over the final 10 % of training (a convergence
     /// indicator).
     pub fn train<E: Environment>(&mut self, env: &mut E) -> f32 {
-        assert_eq!(env.state_dim(), self.online.num_inputs(), "environment/agent state mismatch");
-        assert_eq!(env.num_actions(), self.online.num_outputs(), "environment/agent action mismatch");
+        assert_eq!(
+            env.state_dim(),
+            self.online.num_inputs(),
+            "environment/agent state mismatch"
+        );
+        assert_eq!(
+            env.num_actions(),
+            self.online.num_outputs(),
+            "environment/agent action mismatch"
+        );
         let mut env_rng = StdRng::seed_from_u64(self.rng.gen());
         let mut state = env.reset(&mut env_rng);
         let tail_start = self.config.training_iterations * 9 / 10;
@@ -245,7 +263,11 @@ impl DqnTrainer {
                 next_state: step.next_state.clone(),
                 done: step.done,
             });
-            state = if step.done { env.reset(&mut env_rng) } else { step.next_state };
+            state = if step.done {
+                env.reset(&mut env_rng)
+            } else {
+                step.next_state
+            };
         }
         if tail_count == 0 {
             0.0
@@ -273,7 +295,10 @@ mod tests {
 
     #[test]
     fn epsilon_anneals_linearly_then_clamps() {
-        let cfg = DqnConfig { epsilon_decay_steps: 100, ..DqnConfig::quick() };
+        let cfg = DqnConfig {
+            epsilon_decay_steps: 100,
+            ..DqnConfig::quick()
+        };
         let mut trainer = DqnTrainer::new(2, 2, cfg, 0);
         assert!((trainer.epsilon() - 1.0).abs() < 1e-9);
         for _ in 0..50 {
@@ -286,7 +311,10 @@ mod tests {
             });
         }
         let halfway = trainer.epsilon();
-        assert!(halfway < 0.6 && halfway > 0.4, "epsilon at halfway: {halfway}");
+        assert!(
+            halfway < 0.6 && halfway > 0.4,
+            "epsilon at halfway: {halfway}"
+        );
         for _ in 0..200 {
             trainer.observe(Transition {
                 state: vec![0.0, 0.0],
@@ -305,7 +333,10 @@ mod tests {
         let cfg = DqnConfig::quick().with_iterations(8_000);
         let mut trainer = DqnTrainer::new(3, 3, cfg, 7);
         let tail = trainer.train(&mut env);
-        assert!(tail > 0.85, "average tail reward should be close to 1.0, got {tail}");
+        assert!(
+            tail > 0.85,
+            "average tail reward should be close to 1.0, got {tail}"
+        );
         // Greedy policy picks the matching action for every context.
         for c in 0..3 {
             let mut state = vec![0.0; 3];
@@ -330,7 +361,10 @@ mod tests {
 
     #[test]
     fn observe_returns_loss_only_after_warmup() {
-        let cfg = DqnConfig { warmup_transitions: 10, ..DqnConfig::quick() };
+        let cfg = DqnConfig {
+            warmup_transitions: 10,
+            ..DqnConfig::quick()
+        };
         let mut trainer = DqnTrainer::new(1, 2, cfg, 1);
         let t = Transition {
             state: vec![0.5],
@@ -340,7 +374,10 @@ mod tests {
             done: false,
         };
         for i in 0..9 {
-            assert!(trainer.observe(t.clone()).is_none(), "no training before warmup (step {i})");
+            assert!(
+                trainer.observe(t.clone()).is_none(),
+                "no training before warmup (step {i})"
+            );
         }
         assert!(trainer.observe(t).is_some());
     }
@@ -349,7 +386,8 @@ mod tests {
     fn training_is_deterministic_per_seed() {
         let run = |seed| {
             let mut env = ContextualBandit::new(2);
-            let mut trainer = DqnTrainer::new(2, 2, DqnConfig::quick().with_iterations(2_000), seed);
+            let mut trainer =
+                DqnTrainer::new(2, 2, DqnConfig::quick().with_iterations(2_000), seed);
             trainer.train(&mut env);
             trainer.policy().forward(&[1.0, 0.0])
         };
@@ -358,13 +396,20 @@ mod tests {
 
     #[test]
     fn select_action_is_random_under_full_exploration() {
-        let cfg = DqnConfig { epsilon_start: 1.0, epsilon_end: 1.0, ..DqnConfig::quick() };
+        let cfg = DqnConfig {
+            epsilon_start: 1.0,
+            epsilon_end: 1.0,
+            ..DqnConfig::quick()
+        };
         let mut trainer = DqnTrainer::new(2, 4, cfg, 9);
         let mut seen = [false; 4];
         for _ in 0..200 {
             seen[trainer.select_action(&[0.0, 0.0])] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all actions should be explored: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all actions should be explored: {seen:?}"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub(crate) mod test_envs {
 
     impl ContextualBandit {
         pub fn new(contexts: usize) -> Self {
-            ContextualBandit { contexts, current: 0 }
+            ContextualBandit {
+                contexts,
+                current: 0,
+            }
         }
 
         fn encode(&self) -> Vec<f32> {
@@ -77,7 +80,11 @@ pub(crate) mod test_envs {
             assert!(action < self.contexts);
             let reward = if action == self.current { 1.0 } else { 0.0 };
             self.current = rng.gen_range(0..self.contexts);
-            Step { next_state: self.encode(), reward, done: true }
+            Step {
+                next_state: self.encode(),
+                reward,
+                done: true,
+            }
         }
     }
 
@@ -94,7 +101,11 @@ pub(crate) mod test_envs {
 
     impl ChainWalk {
         pub fn new(length: usize) -> Self {
-            ChainWalk { length, position: 0, steps: 0 }
+            ChainWalk {
+                length,
+                position: 0,
+                steps: 0,
+            }
         }
 
         fn encode(&self) -> Vec<f32> {
@@ -125,8 +136,16 @@ pub(crate) mod test_envs {
                 self.position = self.position.saturating_sub(1);
             }
             let done = self.position == self.length - 1 || self.steps >= 4 * self.length;
-            let reward = if self.position == self.length - 1 { 1.0 } else { -0.01 };
-            Step { next_state: self.encode(), reward, done }
+            let reward = if self.position == self.length - 1 {
+                1.0
+            } else {
+                -0.01
+            };
+            Step {
+                next_state: self.encode(),
+                reward,
+                done,
+            }
         }
     }
 }
@@ -153,7 +172,11 @@ mod tests {
         let mut env = ChainWalk::new(5);
         let mut rng = StdRng::seed_from_u64(0);
         env.reset(&mut rng);
-        let mut last = Step { next_state: vec![], reward: 0.0, done: false };
+        let mut last = Step {
+            next_state: vec![],
+            reward: 0.0,
+            done: false,
+        };
         for _ in 0..4 {
             last = env.step(1, &mut rng);
         }

@@ -46,7 +46,11 @@ impl Exp3 {
     pub fn new(arms: usize, gamma: f64) -> Self {
         assert!(arms > 0, "need at least one arm");
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
-        Exp3 { weights: vec![1.0; arms], gamma, initial_weight: 1.0 }
+        Exp3 {
+            weights: vec![1.0; arms],
+            gamma,
+            initial_weight: 1.0,
+        }
     }
 
     /// Number of arms.
@@ -194,7 +198,10 @@ mod tests {
         assert_eq!(b.best_arm(), 1);
         b.reset_arm(1);
         let probs = b.probabilities();
-        assert!((probs[0] - probs[1]).abs() < 1e-9, "reset should level the arms again");
+        assert!(
+            (probs[0] - probs[1]).abs() < 1e-9,
+            "reset should level the arms again"
+        );
     }
 
     #[test]

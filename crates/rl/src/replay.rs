@@ -55,7 +55,11 @@ impl ReplayBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer needs a positive capacity");
-        ReplayBuffer { capacity, entries: Vec::with_capacity(capacity.min(4096)), write_index: 0 }
+        ReplayBuffer {
+            capacity,
+            entries: Vec::with_capacity(capacity.min(4096)),
+            write_index: 0,
+        }
     }
 
     /// The maximum number of stored transitions.
@@ -90,7 +94,9 @@ impl ReplayBuffer {
         if self.entries.is_empty() {
             return Vec::new();
         }
-        (0..count).map(|_| &self.entries[rng.gen_range(0..self.entries.len())]).collect()
+        (0..count)
+            .map(|_| &self.entries[rng.gen_range(0..self.entries.len())])
+            .collect()
     }
 }
 
@@ -101,7 +107,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(v: f32) -> Transition {
-        Transition { state: vec![v], action: 0, reward: v, next_state: vec![v + 1.0], done: false }
+        Transition {
+            state: vec![v],
+            action: 0,
+            reward: v,
+            next_state: vec![v + 1.0],
+            done: false,
+        }
     }
 
     #[test]

@@ -132,9 +132,16 @@ impl PeriodicJammer {
     ///
     /// Panics if `duty_cycle` is not in `(0, 1]`.
     pub fn with_duty_cycle(position: Position, duty_cycle: f64) -> Self {
-        assert!(duty_cycle > 0.0 && duty_cycle <= 1.0, "duty cycle must be in (0, 1]");
+        assert!(
+            duty_cycle > 0.0 && duty_cycle <= 1.0,
+            "duty cycle must be in (0, 1]"
+        );
         let period_us = (BURST_DURATION.as_micros() as f64 / duty_cycle).round() as u64;
-        Self::new(position, BURST_DURATION, SimDuration::from_micros(period_us))
+        Self::new(
+            position,
+            BURST_DURATION,
+            SimDuration::from_micros(period_us),
+        )
     }
 
     /// Restricts the jammer to a set of channels (e.g. only channel 26, as in
@@ -402,7 +409,9 @@ impl InterferenceModel for CompositeInterference {
     ) -> f64 {
         let mut clear = 1.0;
         for s in &self.sources {
-            clear *= 1.0 - s.busy_fraction(start, duration_us, channel, at).clamp(0.0, 1.0);
+            clear *= 1.0
+                - s.busy_fraction(start, duration_us, channel, at)
+                    .clamp(0.0, 1.0);
         }
         1.0 - clear
     }
@@ -424,7 +433,9 @@ pub struct ScheduledInterference {
 impl ScheduledInterference {
     /// Creates an empty schedule (no interference at any time).
     pub fn new() -> Self {
-        ScheduledInterference { windows: Vec::new() }
+        ScheduledInterference {
+            windows: Vec::new(),
+        }
     }
 
     /// Adds an interference source active during `[from, until)`.
@@ -438,7 +449,10 @@ impl ScheduledInterference {
         until: SimTime,
         source: Box<dyn InterferenceModel>,
     ) -> &mut Self {
-        assert!(until > from, "interference window must have positive length");
+        assert!(
+            until > from,
+            "interference window must have positive length"
+        );
         self.windows.push((from, until, source));
         self
     }
@@ -486,7 +500,9 @@ impl InterferenceModel for ScheduledInterference {
     }
 
     fn is_active(&self, t: SimTime) -> bool {
-        self.windows.iter().any(|(from, until, s)| t >= *from && t < *until && s.is_active(t))
+        self.windows
+            .iter()
+            .any(|(from, until, s)| t >= *from && t < *until && s.is_active(t))
     }
 }
 
@@ -502,7 +518,10 @@ mod tests {
     #[test]
     fn no_interference_is_always_zero() {
         let n = NoInterference;
-        assert_eq!(n.busy_fraction(SimTime::from_secs(5), 20_000, Channel::CONTROL, here()), 0.0);
+        assert_eq!(
+            n.busy_fraction(SimTime::from_secs(5), 20_000, Channel::CONTROL, here()),
+            0.0
+        );
         assert!(!n.is_active(SimTime::ZERO));
     }
 
@@ -537,9 +556,24 @@ mod tests {
     #[test]
     fn jammer_effect_decays_with_distance() {
         let j = PeriodicJammer::with_duty_cycle(Position::new(0.0, 0.0), 1.0);
-        let near = j.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, Position::new(1.0, 0.0));
-        let mid = j.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, Position::new(14.0, 0.0));
-        let far = j.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, Position::new(40.0, 0.0));
+        let near = j.busy_fraction(
+            SimTime::ZERO,
+            13_000,
+            Channel::CONTROL,
+            Position::new(1.0, 0.0),
+        );
+        let mid = j.busy_fraction(
+            SimTime::ZERO,
+            13_000,
+            Channel::CONTROL,
+            Position::new(14.0, 0.0),
+        );
+        let far = j.busy_fraction(
+            SimTime::ZERO,
+            13_000,
+            Channel::CONTROL,
+            Position::new(40.0, 0.0),
+        );
         assert!(near > 0.9);
         assert!(mid < near && mid > far);
         assert!(far < 0.05);
@@ -560,7 +594,10 @@ mod tests {
         assert_eq!(pair.len(), 2);
         for j in &pair {
             assert!((j.duty_cycle() - 0.30).abs() < 0.01);
-            assert_eq!(j.busy_fraction(SimTime::ZERO, 50_000, Channel::new(12).unwrap(), here()), 0.0);
+            assert_eq!(
+                j.busy_fraction(SimTime::ZERO, 50_000, Channel::new(12).unwrap(), here()),
+                0.0
+            );
         }
     }
 
@@ -603,11 +640,17 @@ mod tests {
         let mut comp = CompositeInterference::new();
         assert!(comp.is_empty());
         comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 0.3)));
-        comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 0.3).with_phase(SimDuration::from_millis(20))));
+        comp.push(Box::new(
+            PeriodicJammer::with_duty_cycle(here(), 0.3).with_phase(SimDuration::from_millis(20)),
+        ));
         assert_eq!(comp.len(), 2);
         let f = comp.busy_fraction(SimTime::ZERO, 1_000_000, Channel::CONTROL, here());
-        let single = PeriodicJammer::with_duty_cycle(here(), 0.3)
-            .busy_fraction(SimTime::ZERO, 1_000_000, Channel::CONTROL, here());
+        let single = PeriodicJammer::with_duty_cycle(here(), 0.3).busy_fraction(
+            SimTime::ZERO,
+            1_000_000,
+            Channel::CONTROL,
+            here(),
+        );
         assert!(f > single, "two sources must corrupt more than one");
         assert!(f <= 1.0);
     }
@@ -647,7 +690,11 @@ mod tests {
     #[should_panic(expected = "positive length")]
     fn scheduled_window_rejects_empty_range() {
         let mut sched = ScheduledInterference::new();
-        sched.add_window(SimTime::from_secs(5), SimTime::from_secs(5), Box::new(NoInterference));
+        sched.add_window(
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+            Box::new(NoInterference),
+        );
     }
 
     proptest! {

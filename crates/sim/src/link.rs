@@ -33,7 +33,9 @@ impl LinkQuality {
 
     /// Creates a link quality, clamping the PRR to `[0, 1]`.
     pub fn new(prr: f64) -> Self {
-        LinkQuality { prr: prr.clamp(0.0, 1.0) }
+        LinkQuality {
+            prr: prr.clamp(0.0, 1.0),
+        }
     }
 
     /// A perfect link (PRR = 1).
@@ -184,7 +186,10 @@ mod tests {
         let mut last = 1.1;
         for d in [1.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
             let p = m.prr(origin, Position::new(d, 0.0), 0.0);
-            assert!(p <= last + 1e-12, "PRR must be non-increasing with distance");
+            assert!(
+                p <= last + 1e-12,
+                "PRR must be non-increasing with distance"
+            );
             last = p;
         }
     }
@@ -212,7 +217,10 @@ mod tests {
         let d = m.half_prr_distance_m();
         // The testbed spans 23x23m and is 3 hops, so the usable range must be
         // roughly 8-20 meters.
-        assert!(d > 6.0 && d < 25.0, "half-PRR distance {d} out of expected range");
+        assert!(
+            d > 6.0 && d < 25.0,
+            "half-PRR distance {d} out of expected range"
+        );
         let p = m.prr(Position::new(0.0, 0.0), Position::new(d, 0.0), 0.0);
         assert!((p - 0.5).abs() < 0.05, "PRR at half distance was {p}");
     }

@@ -199,7 +199,11 @@ pub struct RadioTimeline {
 impl RadioTimeline {
     /// Creates a timeline starting at `start` with the radio off.
     pub fn new(start: SimTime) -> Self {
-        RadioTimeline { state: RadioState::Off, since: start, accounting: RadioAccounting::new() }
+        RadioTimeline {
+            state: RadioState::Off,
+            since: start,
+            accounting: RadioAccounting::new(),
+        }
     }
 
     /// Returns the current radio state.
@@ -214,7 +218,10 @@ impl RadioTimeline {
     ///
     /// Panics if `now` precedes the previous switch time.
     pub fn switch(&mut self, state: RadioState, now: SimTime) {
-        assert!(now >= self.since, "radio timeline must move forward in time");
+        assert!(
+            now >= self.since,
+            "radio timeline must move forward in time"
+        );
         self.accounting.record(self.state, now - self.since);
         self.state = state;
         self.since = now;

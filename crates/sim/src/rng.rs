@@ -34,7 +34,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent generator for a named sub-stream.
@@ -110,9 +112,15 @@ impl SimRng {
     ///
     /// Panics if `weights` is empty or if every weight is zero/negative.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index requires at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index requires at least one weight"
+        );
         let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
-        assert!(total > 0.0, "weighted_index requires a positive total weight");
+        assert!(
+            total > 0.0,
+            "weighted_index requires a positive total weight"
+        );
         let mut target = self.inner.gen::<f64>() * total;
         for (i, w) in weights.iter().enumerate() {
             let w = w.max(0.0);

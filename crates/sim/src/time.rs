@@ -105,7 +105,10 @@ impl SimDuration {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be non-negative and finite");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be non-negative and finite"
+        );
         SimDuration((ms * 1_000.0).round() as u64)
     }
 
@@ -242,7 +245,10 @@ mod tests {
     fn constructors_agree_on_units() {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(1_000_000));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1_000_000)
+        );
     }
 
     #[test]
@@ -255,7 +261,10 @@ mod tests {
 
     #[test]
     fn duration_from_fractional_millis() {
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1_500));
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1_500)
+        );
         assert_eq!(SimDuration::from_millis_f64(0.0), SimDuration::ZERO);
     }
 

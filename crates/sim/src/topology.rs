@@ -129,7 +129,10 @@ impl Topology {
     ) -> Self {
         let n = positions.len();
         assert!(n >= 2, "a topology needs at least two nodes");
-        assert!(coordinator.index() < n, "coordinator must be one of the nodes");
+        assert!(
+            coordinator.index() < n,
+            "coordinator must be one of the nodes"
+        );
         let mut rng = SimRng::seed_from(seed ^ 0xD1_44E2);
         let mut links = vec![LinkQuality::none(); n * n];
         for i in 0..n {
@@ -141,7 +144,13 @@ impl Topology {
                 links[j * n + i] = q;
             }
         }
-        Topology { kind, positions, links, coordinator, path_loss }
+        Topology {
+            kind,
+            positions,
+            links,
+            coordinator,
+            path_loss,
+        }
     }
 
     /// Builds a line topology of `n` nodes spaced `spacing_m` meters apart.
@@ -150,8 +159,16 @@ impl Topology {
     ///
     /// Panics if `n < 2`.
     pub fn line(n: usize, spacing_m: f64, seed: u64) -> Self {
-        let positions = (0..n).map(|i| Position::new(i as f64 * spacing_m, 0.0)).collect();
-        Self::build(TopologyKind::Line, positions, NodeId(0), PathLossModel::indoor_office(), seed)
+        let positions = (0..n)
+            .map(|i| Position::new(i as f64 * spacing_m, 0.0))
+            .collect();
+        Self::build(
+            TopologyKind::Line,
+            positions,
+            NodeId(0),
+            PathLossModel::indoor_office(),
+            seed,
+        )
     }
 
     /// Builds a jittered `rows × cols` grid with the given spacing.
@@ -166,10 +183,19 @@ impl Topology {
             for c in 0..cols {
                 let jx = rng.uniform(-0.2, 0.2) * spacing_m;
                 let jy = rng.uniform(-0.2, 0.2) * spacing_m;
-                positions.push(Position::new(c as f64 * spacing_m + jx, r as f64 * spacing_m + jy));
+                positions.push(Position::new(
+                    c as f64 * spacing_m + jx,
+                    r as f64 * spacing_m + jy,
+                ));
             }
         }
-        Self::build(TopologyKind::Grid, positions, NodeId(0), PathLossModel::indoor_office(), seed)
+        Self::build(
+            TopologyKind::Grid,
+            positions,
+            NodeId(0),
+            PathLossModel::indoor_office(),
+            seed,
+        )
     }
 
     /// Builds a uniformly random topology of `n` nodes in a
@@ -183,7 +209,13 @@ impl Topology {
         let positions = (0..n)
             .map(|_| Position::new(rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)))
             .collect();
-        Self::build(TopologyKind::Random, positions, NodeId(0), PathLossModel::indoor_office(), seed)
+        Self::build(
+            TopologyKind::Random,
+            positions,
+            NodeId(0),
+            PathLossModel::indoor_office(),
+            seed,
+        )
     }
 
     /// The paper's 18-node office testbed: 23 × 23 m, 3 hops, coordinator in
@@ -279,7 +311,10 @@ impl Topology {
     ///
     /// Panics if `node` is not part of the topology.
     pub fn set_coordinator(&mut self, node: NodeId) {
-        assert!(node.index() < self.num_nodes(), "coordinator must be one of the nodes");
+        assert!(
+            node.index() < self.num_nodes(),
+            "coordinator must be one of the nodes"
+        );
         self.coordinator = node;
     }
 
@@ -342,7 +377,10 @@ impl Topology {
     /// (PRR ≥ 0.7); `None` if some node is unreachable at that threshold.
     pub fn network_depth(&self) -> Option<usize> {
         let d = self.hop_distances(self.coordinator, 0.7);
-        d.iter().copied().collect::<Option<Vec<_>>>().map(|v| v.into_iter().max().unwrap_or(0))
+        d.iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
     }
 
     /// Returns `true` if every node can reach every other node over usable
@@ -387,9 +425,15 @@ mod tests {
             assert_eq!(t.num_nodes(), 18);
             assert!(t.is_connected(), "seed {seed}: testbed must be connected");
             let depth = t.network_depth();
-            assert!(depth.is_some(), "seed {seed}: all nodes reachable over good links");
+            assert!(
+                depth.is_some(),
+                "seed {seed}: all nodes reachable over good links"
+            );
             let depth = depth.unwrap();
-            assert!((2..=5).contains(&depth), "seed {seed}: expected ~3-hop network, got {depth}");
+            assert!(
+                (2..=5).contains(&depth),
+                "seed {seed}: expected ~3-hop network, got {depth}"
+            );
         }
     }
 
@@ -398,7 +442,10 @@ mod tests {
         let t = Topology::dcube_48(1);
         assert_eq!(t.num_nodes(), 48);
         assert!(t.is_connected());
-        assert!(t.network_depth().unwrap_or(0) >= 2, "D-Cube stand-in should be multi-hop");
+        assert!(
+            t.network_depth().unwrap_or(0) >= 2,
+            "D-Cube stand-in should be multi-hop"
+        );
     }
 
     #[test]

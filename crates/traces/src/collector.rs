@@ -82,8 +82,7 @@ impl<'a> TraceCollector<'a> {
         let mut master_rng = SimRng::seed_from(self.seed);
 
         for round_idx in 0..rounds {
-            let window =
-                (round_idx / self.rounds_per_window) % self.duty_cycle_sweep.len();
+            let window = (round_idx / self.rounds_per_window) % self.duty_cycle_sweep.len();
             let duty = self.duty_cycle_sweep[window];
             let interference = Self::interference_for(duty);
             let interference_ref: &dyn InterferenceModel = match &interference {
@@ -105,14 +104,22 @@ impl<'a> TraceCollector<'a> {
                     NtxAssignment::Uniform(ntx.max(1)),
                 );
                 let round = executor.run_round(&schedule, start, &mut rng);
-                let reliabilities =
-                    (0..n).map(|i| round.node_reception_ratio(NodeId(i as u16))).collect();
+                let reliabilities = (0..n)
+                    .map(|i| round.node_reception_ratio(NodeId(i as u16)))
+                    .collect();
                 let radio_on_us = (0..n)
                     .map(|i| round.node_radio_on_per_slot(NodeId(i as u16)).as_micros())
                     .collect();
-                outcomes.push(NtxOutcome { reliabilities, radio_on_us, losses: round.losses() });
+                outcomes.push(NtxOutcome {
+                    reliabilities,
+                    radio_on_us,
+                    losses: round.losses(),
+                });
             }
-            samples.push(TraceSample { outcomes, interference_ratio: duty });
+            samples.push(TraceSample {
+                outcomes,
+                interference_ratio: duty,
+            });
         }
         TraceDataset::new(n, N_TX_MAX, samples)
     }
@@ -142,13 +149,18 @@ mod tests {
         let ds = small_dataset(2, 2);
         let calm = ds.sample(0);
         assert_eq!(calm.interference_ratio, 0.0);
-        assert!(calm.outcome(3).losses <= 2, "calm rounds should see (almost) no losses");
+        assert!(
+            calm.outcome(3).losses <= 2,
+            "calm rounds should see (almost) no losses"
+        );
     }
 
     #[test]
     fn under_jamming_higher_ntx_does_not_hurt_reliability() {
         let topo = Topology::kiel_testbed_18(5);
-        let ds = TraceCollector::new(&topo, 3).with_sweep(vec![0.35], 1).collect(12);
+        let ds = TraceCollector::new(&topo, 3)
+            .with_sweep(vec![0.35], 1)
+            .collect(12);
         let mut low = 0.0;
         let mut high = 0.0;
         for s in ds.samples() {
@@ -165,9 +177,8 @@ mod tests {
     fn radio_on_grows_with_ntx_when_calm() {
         let ds = small_dataset(2, 7);
         let calm = ds.sample(0);
-        let mean = |o: &NtxOutcome| {
-            o.radio_on_us.iter().sum::<u64>() as f64 / o.radio_on_us.len() as f64
-        };
+        let mean =
+            |o: &NtxOutcome| o.radio_on_us.iter().sum::<u64>() as f64 / o.radio_on_us.len() as f64;
         assert!(mean(calm.outcome(8)) > mean(calm.outcome(1)));
     }
 

@@ -99,13 +99,29 @@ impl TraceDataset {
     /// Panics if a sample's shape does not match `num_nodes` / `n_max`.
     pub fn new(num_nodes: usize, n_max: u8, samples: Vec<TraceSample>) -> Self {
         for s in &samples {
-            assert_eq!(s.outcomes.len(), n_max as usize + 1, "sample must cover 0..=N_max");
+            assert_eq!(
+                s.outcomes.len(),
+                n_max as usize + 1,
+                "sample must cover 0..=N_max"
+            );
             for o in &s.outcomes {
-                assert_eq!(o.reliabilities.len(), num_nodes, "reliability rows must match nodes");
-                assert_eq!(o.radio_on_us.len(), num_nodes, "radio-on rows must match nodes");
+                assert_eq!(
+                    o.reliabilities.len(),
+                    num_nodes,
+                    "reliability rows must match nodes"
+                );
+                assert_eq!(
+                    o.radio_on_us.len(),
+                    num_nodes,
+                    "radio-on rows must match nodes"
+                );
             }
         }
-        TraceDataset { num_nodes, n_max, samples }
+        TraceDataset {
+            num_nodes,
+            n_max,
+            samples,
+        }
     }
 
     /// Number of nodes in the recorded deployment.
@@ -157,8 +173,14 @@ impl TraceDataset {
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         writeln!(s, "dimmer-trace v1").expect("infallible");
-        writeln!(s, "nodes {} nmax {} samples {}", self.num_nodes, self.n_max, self.samples.len())
-            .expect("infallible");
+        writeln!(
+            s,
+            "nodes {} nmax {} samples {}",
+            self.num_nodes,
+            self.n_max,
+            self.samples.len()
+        )
+        .expect("infallible");
         for sample in &self.samples {
             writeln!(s, "sample {}", sample.interference_ratio).expect("infallible");
             for (ntx, o) in sample.outcomes.iter().enumerate() {
@@ -229,9 +251,16 @@ impl TraceDataset {
                 if reliabilities.len() != num_nodes || radio_on_us.len() != num_nodes {
                     return Err(err("row width mismatch"));
                 }
-                outcomes.push(NtxOutcome { reliabilities, radio_on_us, losses });
+                outcomes.push(NtxOutcome {
+                    reliabilities,
+                    radio_on_us,
+                    losses,
+                });
             }
-            samples.push(TraceSample { outcomes, interference_ratio: ratio });
+            samples.push(TraceSample {
+                outcomes,
+                interference_ratio: ratio,
+            });
         }
         Ok(TraceDataset::new(num_nodes, n_max, samples))
     }
@@ -275,11 +304,7 @@ mod tests {
 
     #[test]
     fn split_is_chronological() {
-        let ds = TraceDataset::new(
-            2,
-            2,
-            (0..10).map(|i| tiny_sample(2, 2, i)).collect(),
-        );
+        let ds = TraceDataset::new(2, 2, (0..10).map(|i| tiny_sample(2, 2, i)).collect());
         let (train, eval) = ds.split(0.7);
         assert_eq!(train.len(), 7);
         assert_eq!(eval.len(), 3);

@@ -52,8 +52,12 @@ pub fn train_policy(
     seed: u64,
 ) -> TrainingReport {
     let mut env = TraceEnvironment::new(dataset.clone(), dimmer.clone(), seed ^ 0xE0);
-    let mut trainer =
-        DqnTrainer::new(dimmer.state_dim(), dimmer_core::AdaptivityAction::COUNT, dqn.clone(), seed);
+    let mut trainer = DqnTrainer::new(
+        dimmer.state_dim(),
+        dimmer_core::AdaptivityAction::COUNT,
+        dqn.clone(),
+        seed,
+    );
     let tail_reward = trainer.train(&mut env);
     TrainingReport {
         training_samples: dataset.len(),
@@ -85,10 +89,11 @@ mod tests {
     #[test]
     fn training_produces_a_table_1_compatible_policy() {
         let topo = Topology::kiel_testbed_18(2);
-        let traces = TraceCollector::new(&topo, 3).with_sweep(vec![0.0, 0.30], 3).collect(24);
+        let traces = TraceCollector::new(&topo, 3)
+            .with_sweep(vec![0.0, 0.30], 3)
+            .collect(24);
         let cfg = DimmerConfig::default();
-        let report =
-            train_policy(&traces, &cfg, &DqnConfig::quick().with_iterations(2_000), 5);
+        let report = train_policy(&traces, &cfg, &DqnConfig::quick().with_iterations(2_000), 5);
         assert_eq!(report.policy.num_inputs(), 31);
         assert_eq!(report.policy.num_outputs(), 3);
         // The quantized controller must be executable on Table-I states.
@@ -102,12 +107,18 @@ mod tests {
         // Smoke test for convergence: the tail reward of a longer run should
         // be at least comparable to a very short run on the same traces.
         let topo = Topology::kiel_testbed_18(2);
-        let traces = TraceCollector::new(&topo, 9).with_sweep(vec![0.0, 0.25], 4).collect(24);
+        let traces = TraceCollector::new(&topo, 9)
+            .with_sweep(vec![0.0, 0.25], 4)
+            .collect(24);
         let cfg = DimmerConfig::default();
         let short = train_policy(&traces, &cfg, &DqnConfig::quick().with_iterations(500), 1);
         let long = train_policy(&traces, &cfg, &DqnConfig::quick().with_iterations(6_000), 1);
-        assert!(long.tail_reward >= short.tail_reward - 0.15,
-            "long run {} should not be far below short run {}", long.tail_reward, short.tail_reward);
+        assert!(
+            long.tail_reward >= short.tail_reward - 0.15,
+            "long run {} should not be far below short run {}",
+            long.tail_reward,
+            short.tail_reward
+        );
     }
 
     #[test]

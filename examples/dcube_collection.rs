@@ -51,9 +51,27 @@ fn main() {
     }
 
     println!("48-node D-Cube stand-in, WiFi level 2, {rounds} rounds (sink = {sink})");
-    println!("{:<8} {:>14} {:>12}", "protocol", "reliability", "energy [J]");
-    println!("{:<8} {:>13.1}% {:>12.1}", "LWB", lwb.app_reliability() * 100.0, lwb.total_energy_joules());
-    println!("{:<8} {:>13.1}% {:>12.1}", "Dimmer", dimmer.app_reliability() * 100.0, dimmer.total_energy_joules());
-    println!("{:<8} {:>13.1}% {:>12.1}", "Crystal", crystal.app_reliability() * 100.0, crystal.total_energy_joules());
+    println!(
+        "{:<8} {:>14} {:>12}",
+        "protocol", "reliability", "energy [J]"
+    );
+    println!(
+        "{:<8} {:>13.1}% {:>12.1}",
+        "LWB",
+        lwb.app_reliability() * 100.0,
+        lwb.total_energy_joules()
+    );
+    println!(
+        "{:<8} {:>13.1}% {:>12.1}",
+        "Dimmer",
+        dimmer.app_reliability() * 100.0,
+        dimmer.total_energy_joules()
+    );
+    println!(
+        "{:<8} {:>13.1}% {:>12.1}",
+        "Crystal",
+        crystal.app_reliability() * 100.0,
+        crystal.total_energy_joules()
+    );
     println!("\n(paper, WiFi level 2: LWB ~27%, Dimmer 95.8%, Crystal ~99%)");
 }

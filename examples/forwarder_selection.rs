@@ -26,16 +26,27 @@ fn main() {
     );
 
     let rounds = 1200; // 80 simulated minutes of 4-second rounds
-    println!("{:>8} {:>12} {:>12} {:>14}", "minute", "forwarders", "reliability", "radio-on [ms]");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "minute", "forwarders", "reliability", "radio-on [ms]"
+    );
     let reports = runner.run_rounds(rounds);
     for (i, chunk) in reports.chunks(150).enumerate() {
         let n = chunk.len() as f64;
         println!(
             "{:>8} {:>12.1} {:>12.4} {:>14.2}",
             i * 10,
-            chunk.iter().map(|r| r.active_forwarders as f64).sum::<f64>() / n,
+            chunk
+                .iter()
+                .map(|r| r.active_forwarders as f64)
+                .sum::<f64>()
+                / n,
             chunk.iter().map(|r| r.reliability).sum::<f64>() / n,
-            chunk.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / n,
+            chunk
+                .iter()
+                .map(|r| r.mean_radio_on.as_millis_f64())
+                .sum::<f64>()
+                / n,
         );
     }
 

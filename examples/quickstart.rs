@@ -17,7 +17,11 @@ fn main() {
     // 2 minutes calm, 2 minutes of 30 % jamming, then calm again.
     let mut interference = ScheduledInterference::new();
     for jammer in PeriodicJammer::kiel_pair(0.30) {
-        interference.add_window(SimTime::from_secs(120), SimTime::from_secs(240), Box::new(jammer));
+        interference.add_window(
+            SimTime::from_secs(120),
+            SimTime::from_secs(240),
+            Box::new(jammer),
+        );
     }
 
     // The adaptivity policy: the pre-trained DQN shipped with the crate (or
@@ -34,7 +38,10 @@ fn main() {
         42,
     );
 
-    println!("{:>6} {:>6} {:>12} {:>14} {:>12}", "round", "NTX", "reliability", "radio-on [ms]", "mode");
+    println!(
+        "{:>6} {:>6} {:>12} {:>14} {:>12}",
+        "round", "NTX", "reliability", "radio-on [ms]", "mode"
+    );
     for report in runner.run_rounds(90) {
         if report.round_index % 5 == 0 {
             println!(
@@ -47,7 +54,10 @@ fn main() {
             );
         }
     }
-    println!("\ntotal energy spent: {:.1} J", runner.total_energy_joules());
+    println!(
+        "\ntotal energy spent: {:.1} J",
+        runner.total_energy_joules()
+    );
 
     // For comparison: the same network without any interference at all.
     let mut calm_runner = DimmerRunner::new(
@@ -59,5 +69,8 @@ fn main() {
         42,
     );
     calm_runner.run_rounds(90);
-    println!("calm-network energy over the same duration: {:.1} J", calm_runner.total_energy_joules());
+    println!(
+        "calm-network energy over the same duration: {:.1} J",
+        calm_runner.total_energy_joules()
+    );
 }

@@ -21,7 +21,11 @@ fn main() {
     let topology = Topology::kiel_testbed_18(42);
     println!("collecting {trace_rounds} trace rounds on the 18-node testbed ...");
     let traces = TraceCollector::new(&topology, 42).collect(trace_rounds);
-    println!("collected {} samples covering N_TX 0..={}", traces.len(), traces.n_max());
+    println!(
+        "collected {} samples covering N_TX 0..={}",
+        traces.len(),
+        traces.n_max()
+    );
 
     println!("training the DQN for {iterations} iterations ...");
     let dimmer_config = DimmerConfig::default();
@@ -37,7 +41,10 @@ fn main() {
     match std::fs::write(out_path, &text) {
         Ok(()) => println!("wrote trained weights to {}", out_path.display()),
         Err(e) => {
-            println!("could not write {} ({e}); printing the weights instead:\n", out_path.display());
+            println!(
+                "could not write {} ({e}); printing the weights instead:\n",
+                out_path.display()
+            );
             println!("{text}");
         }
     }

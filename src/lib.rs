@@ -1,0 +1,15 @@
+//! Umbrella crate for the Dimmer reproduction workspace.
+//!
+//! This crate exists so the top-level `examples/` directory is wired in as
+//! ordinary cargo examples (`cargo run --example quickstart`). It re-exports
+//! the member crates for convenience; all real code lives under `crates/`.
+
+#![forbid(unsafe_code)]
+
+pub use dimmer_baselines as baselines;
+pub use dimmer_core as core;
+pub use dimmer_lwb as lwb;
+pub use dimmer_neural as neural;
+pub use dimmer_rl as rl;
+pub use dimmer_sim as sim;
+pub use dimmer_traces as traces;

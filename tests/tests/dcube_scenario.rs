@@ -6,7 +6,7 @@ use dimmer_baselines::{CrystalConfig, CrystalRunner, StaticLwbRunner};
 use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRunner};
 use dimmer_lwb::{LwbConfig, TrafficPattern};
 use dimmer_sim::{
-    NodeId, NoInterference, SimDuration, SimRng, Topology, WifiInterference, WifiLevel,
+    NoInterference, NodeId, SimDuration, SimRng, Topology, WifiInterference, WifiLevel,
 };
 
 const ROUNDS: usize = 120;
@@ -47,7 +47,10 @@ fn dimmer_outperforms_plain_lwb_under_wifi_level_2() {
         dimmer.app_reliability(),
         lwb.app_reliability()
     );
-    assert!(dimmer.app_reliability() > 0.85, "Dimmer should stay highly reliable");
+    assert!(
+        dimmer.app_reliability() > 0.85,
+        "Dimmer should stay highly reliable"
+    );
 }
 
 #[test]
@@ -57,8 +60,13 @@ fn crystal_is_reliable_but_energy_hungry_under_interference() {
     let traffic = collection(&topo);
     let all: Vec<NodeId> = topo.node_ids().collect();
 
-    let mut crystal =
-        CrystalRunner::new(&topo, &wifi, CrystalConfig::ewsn2019(), topo.coordinator(), 5);
+    let mut crystal = CrystalRunner::new(
+        &topo,
+        &wifi,
+        CrystalConfig::ewsn2019(),
+        topo.coordinator(),
+        5,
+    );
     let mut calm_crystal = CrystalRunner::new(
         &topo,
         &NoInterference,
@@ -72,7 +80,10 @@ fn crystal_is_reliable_but_energy_hungry_under_interference() {
         crystal.run_epoch(&sources, SimDuration::from_secs(1));
         calm_crystal.run_epoch(&sources, SimDuration::from_secs(1));
     }
-    assert!(crystal.app_reliability() > 0.9, "Crystal survives strong WiFi");
+    assert!(
+        crystal.app_reliability() > 0.9,
+        "Crystal survives strong WiFi"
+    );
     assert!(
         crystal.total_energy_joules() > calm_crystal.total_energy_joules(),
         "interference must cost Crystal extra energy"

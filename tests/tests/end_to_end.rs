@@ -14,8 +14,12 @@ fn dimmer_beats_static_lwb_under_heavy_jamming() {
     let rounds = 40;
 
     let mut lwb = StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, 7);
-    let lwb_rel: f64 =
-        lwb.run_rounds(rounds).iter().map(|r| r.reliability).sum::<f64>() / rounds as f64;
+    let lwb_rel: f64 = lwb
+        .run_rounds(rounds)
+        .iter()
+        .map(|r| r.reliability)
+        .sum::<f64>()
+        / rounds as f64;
 
     let mut dimmer = DimmerRunner::new(
         &topo,
@@ -25,14 +29,21 @@ fn dimmer_beats_static_lwb_under_heavy_jamming() {
         AdaptivityPolicy::rule_based(),
         7,
     );
-    let dimmer_rel: f64 =
-        dimmer.run_rounds(rounds).iter().map(|r| r.reliability).sum::<f64>() / rounds as f64;
+    let dimmer_rel: f64 = dimmer
+        .run_rounds(rounds)
+        .iter()
+        .map(|r| r.reliability)
+        .sum::<f64>()
+        / rounds as f64;
 
     assert!(
         dimmer_rel >= lwb_rel,
         "adaptive Dimmer ({dimmer_rel:.3}) must not be worse than static LWB ({lwb_rel:.3}) under jamming"
     );
-    assert!(dimmer.ntx() > 3, "Dimmer should have raised N_TX above the static default");
+    assert!(
+        dimmer.ntx() > 3,
+        "Dimmer should have raised N_TX above the static default"
+    );
 }
 
 #[test]
@@ -57,12 +68,22 @@ fn all_protocols_are_nearly_perfect_without_interference() {
         3,
     );
 
-    for reports in [lwb.run_rounds(rounds), dimmer.run_rounds(rounds), pid.run_rounds(rounds)] {
+    for reports in [
+        lwb.run_rounds(rounds),
+        dimmer.run_rounds(rounds),
+        pid.run_rounds(rounds),
+    ] {
         let rel: f64 = reports.iter().map(|r| r.reliability).sum::<f64>() / rounds as f64;
         assert!(rel > 0.98, "calm reliability should exceed 98%, got {rel}");
-        let on: f64 =
-            reports.iter().map(|r| r.mean_radio_on.as_millis_f64()).sum::<f64>() / rounds as f64;
-        assert!(on < 15.0, "calm radio-on time should stay below 15 ms, got {on}");
+        let on: f64 = reports
+            .iter()
+            .map(|r| r.mean_radio_on.as_millis_f64())
+            .sum::<f64>()
+            / rounds as f64;
+        assert!(
+            on < 15.0,
+            "calm radio-on time should stay below 15 ms, got {on}"
+        );
     }
 }
 
@@ -111,13 +132,17 @@ fn adaptive_protocols_track_a_dynamic_interference_scenario() {
             rounds += 1.0;
         }
         dimmer_ntx = d.ntx();
+        pid_controller = p.controller().clone();
         dimmer_ntx_per_phase.push(d.ntx());
         pid_ntx_per_phase.push(p.ntx());
     }
 
     dimmer_rel /= rounds;
     pid_rel /= rounds;
-    assert!(dimmer_rel > 0.9 && pid_rel > 0.9, "both adaptive systems must stay reliable");
+    assert!(
+        dimmer_rel > 0.9 && pid_rel > 0.9,
+        "both adaptive systems must stay reliable"
+    );
     // Both ramp up during the jamming phase and relax once it passes.
     assert!(
         dimmer_ntx_per_phase[1] > dimmer_ntx_per_phase[2],
@@ -164,10 +189,16 @@ fn forwarder_selection_saves_energy_without_hurting_reliability() {
         r.iter().map(|x| x.reliability).sum::<f64>() / r.len() as f64
     };
     let on = |r: &[dimmer_core::DimmerRoundReport]| {
-        r.iter().map(|x| x.mean_radio_on.as_millis_f64()).sum::<f64>() / r.len() as f64
+        r.iter()
+            .map(|x| x.mean_radio_on.as_millis_f64())
+            .sum::<f64>()
+            / r.len() as f64
     };
 
-    assert!(rel(&fs_reports) > 0.985, "forwarder selection must keep reliability high");
+    assert!(
+        rel(&fs_reports) > 0.985,
+        "forwarder selection must keep reliability high"
+    );
     assert!(
         on(&fs_reports) < on(&base_reports),
         "deactivating forwarders must save energy ({:.2} vs {:.2} ms)",
@@ -175,10 +206,14 @@ fn forwarder_selection_saves_energy_without_hurting_reliability() {
         on(&base_reports)
     );
     assert!(
-        fs_reports.iter().any(|r| r.active_forwarders < topo.num_nodes()),
+        fs_reports
+            .iter()
+            .any(|r| r.active_forwarders < topo.num_nodes()),
         "some devices should have turned passive"
     );
-    assert!(fs_reports.iter().any(|r| r.mode == RoundMode::ForwarderSelection));
+    assert!(fs_reports
+        .iter()
+        .any(|r| r.mode == RoundMode::ForwarderSelection));
 }
 
 #[test]

@@ -1,0 +1,109 @@
+//! Smoke tests for the experiment harness: every `exp_*` scenario builder is
+//! exercised for a handful of rounds with a rule-based policy (no DQN
+//! training), guarding the rarely-run experiment binaries against build and
+//! behavior rot.
+
+use dimmer_bench::experiments::{
+    fig4b_row, fig4c_dimmer, fig4c_pid, fig5_cell, fig6_run, fig7_cell, table1_summary,
+    Fig7Scenario,
+};
+use dimmer_core::{AdaptivityPolicy, DimmerConfig};
+use dimmer_sim::Topology;
+use dimmer_traces::TraceCollector;
+
+fn assert_summary_sane(reliability: f64, label: &str) {
+    assert!(
+        reliability.is_finite(),
+        "{label}: reliability must be finite"
+    );
+    assert!(
+        (0.0..=1.0).contains(&reliability),
+        "{label}: reliability in [0,1], got {reliability}"
+    );
+}
+
+#[test]
+fn exp_table1_summary_is_complete() {
+    let s = table1_summary(&DimmerConfig::default());
+    assert_eq!(s.state_dim, 31);
+    assert_eq!(s.example_state.len(), s.state_dim);
+    assert!(s.example_state.iter().all(|v| v.is_finite()));
+    assert!(s.parameters > 0 && s.flash_bytes > 0 && s.ram_bytes > 0);
+}
+
+#[test]
+fn exp_fig4b_row_trains_and_evaluates() {
+    let topo = Topology::kiel_testbed_18(1);
+    let traces = TraceCollector::new(&topo, 21)
+        .with_sweep(vec![0.0, 0.25], 3)
+        .collect(12);
+    let cfg = DimmerConfig::default();
+    let row = fig4b_row(&cfg, &traces, 1, 300, 5);
+    assert_summary_sane(row.reliability, "fig4b");
+    assert!(row.radio_on_ms.is_finite() && row.radio_on_ms > 0.0);
+    assert!(row.dqn_size_kb > 0.0);
+}
+
+#[test]
+fn exp_fig4c_both_protocols_produce_reports() {
+    let dimmer = fig4c_dimmer(AdaptivityPolicy::rule_based(), 10, 7);
+    let pid = fig4c_pid(10, 7);
+    assert_eq!(dimmer.len(), 10);
+    assert_eq!(pid.len(), 10);
+    for r in dimmer.iter().chain(pid.iter()) {
+        assert_summary_sane(r.reliability, "fig4c");
+        assert!(r.mean_radio_on.as_millis_f64().is_finite());
+    }
+}
+
+#[test]
+fn exp_fig5_cell_covers_all_three_protocols() {
+    let cell = fig5_cell(0.25, AdaptivityPolicy::rule_based(), 8, 100);
+    for (summary, label) in [
+        (&cell.lwb, "lwb"),
+        (&cell.dimmer, "dimmer"),
+        (&cell.pid, "pid"),
+    ] {
+        assert_eq!(summary.rounds, 8, "{label}: all rounds aggregated");
+        assert_summary_sane(summary.reliability, label);
+        assert!(
+            summary.radio_on_ms.is_finite() && summary.radio_on_ms > 0.0,
+            "{label}"
+        );
+        assert!(summary.mean_ntx >= 1.0, "{label}: N_TX stays in range");
+    }
+}
+
+#[test]
+fn exp_fig6_run_tracks_forwarders() {
+    let summary = fig6_run(30, 3);
+    assert_eq!(summary.with_fs.len(), 30);
+    assert_eq!(summary.without_fs.len(), 30);
+    let fwd = summary.mean_forwarders();
+    assert!(fwd.is_finite() && fwd > 0.0 && fwd <= 18.0);
+    for r in &summary.without_fs {
+        assert_eq!(
+            r.active_forwarders, 18,
+            "reference run keeps everyone forwarding"
+        );
+    }
+}
+
+#[test]
+fn exp_fig7_cells_cover_every_scenario() {
+    for scenario in Fig7Scenario::ALL {
+        let cell = fig7_cell(scenario, AdaptivityPolicy::rule_based(), 6, 300);
+        for (outcome, label) in [
+            (&cell.lwb, "lwb"),
+            (&cell.dimmer, "dimmer"),
+            (&cell.crystal, "crystal"),
+        ] {
+            assert_summary_sane(outcome.reliability, label);
+            assert!(
+                outcome.energy_joules.is_finite() && outcome.energy_joules > 0.0,
+                "{label}: energy must be positive, got {}",
+                outcome.energy_joules
+            );
+        }
+    }
+}

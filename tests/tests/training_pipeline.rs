@@ -12,7 +12,9 @@ use dimmer_traces::{train_policy, TraceCollector};
 fn trained_policy_drives_the_protocol_sensibly() {
     let topo = Topology::kiel_testbed_18(11);
     // Small but representative trace: calm and 30% windows.
-    let traces = TraceCollector::new(&topo, 7).with_sweep(vec![0.0, 0.30], 4).collect(40);
+    let traces = TraceCollector::new(&topo, 7)
+        .with_sweep(vec![0.0, 0.30], 4)
+        .collect(40);
     let cfg = DimmerConfig::default();
     let report = train_policy(&traces, &cfg, &DqnConfig::quick().with_iterations(6_000), 7);
 
@@ -20,7 +22,11 @@ fn trained_policy_drives_the_protocol_sensibly() {
     let controller = AdaptivityController::new(report.quantized_policy(), cfg.clone());
     let state = StateBuilder::new(cfg.clone()).build(&GlobalView::new(18), 3);
     let _ = controller.decide(&state);
-    assert_eq!(controller.flash_size_bytes(), 2106, "31-30-3 quantized network is ~2.1 kB");
+    assert_eq!(
+        controller.flash_size_bytes(),
+        2106,
+        "31-30-3 quantized network is ~2.1 kB"
+    );
 
     // Protocol-in-the-loop: under jamming the learned policy must end up with
     // at least as many retransmissions as it uses when calm.
@@ -56,12 +62,17 @@ fn trained_policy_drives_the_protocol_sensibly() {
 #[test]
 fn training_is_reproducible() {
     let topo = Topology::kiel_testbed_18(12);
-    let traces = TraceCollector::new(&topo, 5).with_sweep(vec![0.0, 0.25], 3).collect(18);
+    let traces = TraceCollector::new(&topo, 5)
+        .with_sweep(vec![0.0, 0.25], 3)
+        .collect(18);
     let cfg = DimmerConfig::default();
     let dqn = DqnConfig::quick().with_iterations(1_500);
     let a = train_policy(&traces, &cfg, &dqn, 99);
     let b = train_policy(&traces, &cfg, &dqn, 99);
-    assert_eq!(a.policy, b.policy, "same traces + same seed must give the same policy");
+    assert_eq!(
+        a.policy, b.policy,
+        "same traces + same seed must give the same policy"
+    );
 }
 
 #[test]

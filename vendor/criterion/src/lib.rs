@@ -1,0 +1,117 @@
+//! Vendored minimal stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no access to crates.io. This crate implements
+//! just enough of the Criterion API — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — to compile and run the workspace's `benches/`
+//! targets. Measurements are simple wall-clock means without statistical
+//! analysis, warm-up scheduling, or plots.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget (keeps `cargo bench` fast).
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly within the time budget and records the
+    /// mean wall-clock duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and initial calibration.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let mut batch = (Duration::from_millis(1).as_nanos() / first.as_nanos()).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < BUDGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2);
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let mean = bencher.mean_ns;
+        let (value, unit) = if mean >= 1e9 {
+            (mean / 1e9, "s")
+        } else if mean >= 1e6 {
+            (mean / 1e6, "ms")
+        } else if mean >= 1e3 {
+            (mean / 1e3, "µs")
+        } else {
+            (mean, "ns")
+        };
+        println!(
+            "{id:<40} time: {value:>10.3} {unit}/iter  ({} iters)",
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a set of benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_mean() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Vendored mini property-testing runner exposing the subset of the
+//! `proptest` API used by this workspace: the [`proptest!`] macro with
+//! `arg in strategy` bindings, [`prop_assert!`] / [`prop_assert_eq!`], range
+//! and tuple strategies, and [`collection::vec`].
+//!
+//! The build environment has no access to crates.io, so this crate stands in
+//! for the real library. Each property runs a fixed number of deterministic
+//! cases (derived from the test name), with no shrinking on failure — a
+//! failing case panics with the ordinary `assert!` message.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The deterministic RNG handed to strategies.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic source of randomness for one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Creates a case RNG from a per-test seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    /// Number of cases executed per property when no config is given.
+    pub const CASES: u64 = 96;
+
+    /// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many cases each property in the block runs.
+        pub cases: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: CASES }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Default configuration with `cases` overridden.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases: cases as u64,
+            }
+        }
+    }
+
+    /// FNV-1a hash of the test name, used to decorrelate properties.
+    pub fn seed_for(name: &str, case: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.0.gen_range(self.clone())
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.0.gen_range(self.clone())
+                    }
+                }
+            )+
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// A strategy producing a fixed value, mirroring `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (`arg: T` parameters).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(&mut rng.0)
+                }
+            })+
+        };
+    }
+
+    impl_arbitrary_int!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Bounded rather than bit-pattern random: keeps NaN/Inf out,
+            // matching how the workspace's properties use float params.
+            rand::Rng::gen_range(&mut rng.0, -1.0e6..1.0e6)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::Rng::gen_range(&mut rng.0, -1.0e6f32..1.0e6)
+        }
+    }
+
+    /// Strategy generating any value of `T`, mirroring `proptest::prelude::any`.
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    /// Returns the whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element counts for [`fn@vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Single-import convenience, mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that executes the body over a fixed number of
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let __seed = $crate::test_runner::seed_for(stringify!($name), __case);
+                    let mut __rng = $crate::test_runner::TestRng::new(__seed);
+                    $crate::__proptest_bindings!((__rng) $($params)*);
+                    $body
+                }
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($params)*) $body)+
+        }
+    };
+}
+
+/// Internal: turns a proptest parameter list (`pat in strategy` or
+/// `ident: Type`, comma-separated) into `let` bindings drawing from `$rng`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    (($rng:ident)) => {};
+    (($rng:ident) $arg:pat in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    (($rng:ident) $arg:pat in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bindings!(($rng) $($rest)*);
+    };
+    (($rng:ident) $arg:ident : $ty:ty) => {
+        let $arg: $ty =
+            $crate::strategy::Strategy::sample(&$crate::strategy::any::<$ty>(), &mut $rng);
+    };
+    (($rng:ident) $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg: $ty =
+            $crate::strategy::Strategy::sample(&$crate::strategy::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bindings!(($rng) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[allow(clippy::absurd_extreme_comparisons)]
+        fn ranges_stay_in_bounds(x in 3u8..=9, y in -5i32..5, f in 0.0f64..1.0) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        fn vec_length_and_tuples(v in collection::vec((0u8..3, 0u64..10), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 3);
+                prop_assert!(b < 10);
+            }
+        }
+
+        fn just_is_constant(k in Just(7u32)) {
+            prop_assert_eq!(k, 7);
+            prop_assert_ne!(k, 8);
+        }
+    }
+}
