@@ -5,68 +5,47 @@
 //! * Part (ii): history size M ∈ {0..5}: history helps distinguish transient
 //!   from sustained interference (reliability), with diminishing returns.
 //!
-//! For each configuration the harness trains fresh models on a shared trace
-//! and evaluates the resulting protocol on a mixed calm/interference
-//! scenario, reporting radio-on time, reliability and the quantized DQN size.
+//! Every grid cell is one (K or M) configuration; every trial trains a
+//! fresh model on a shared trace with its own derived seed and evaluates
+//! the resulting protocol on a mixed calm/interference scenario, reporting
+//! radio-on time, reliability and the quantized DQN size.
 //!
 //! ```text
-//! cargo run --release -p dimmer-bench --bin exp_fig4b [-- --part nodes|history] [--quick]
+//! cargo run --release -p dimmer-bench --bin exp_fig4b -- \
+//!     [--part nodes|history] [--quick] \
+//!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
 
-use dimmer_bench::experiments::fig4b_row;
-use dimmer_bench::scenarios::{arg_value, quick_flag};
-use dimmer_core::DimmerConfig;
+use std::sync::Arc;
+
+use dimmer_bench::experiments::fig4b_grid;
+use dimmer_bench::harness::HarnessCli;
+use dimmer_bench::scenarios::arg_value;
 use dimmer_sim::Topology;
 use dimmer_traces::TraceCollector;
 
 fn main() {
-    let quick = quick_flag();
+    let cli = HarnessCli::parse(1000);
     let part = arg_value("--part").unwrap_or_else(|| "both".to_string());
     if !["nodes", "history", "both"].contains(&part.as_str()) {
         eprintln!("error: unknown --part '{part}' (expected nodes, history or both)");
         std::process::exit(2);
     }
-    let models = if quick { 1 } else { 3 };
-    let iterations = if quick { 4_000 } else { 20_000 };
-    let trace_rounds = if quick { 60 } else { 160 };
+    let opts = cli.run_options(if cli.quick { 1 } else { 3 });
+    let iterations = if cli.quick { 4_000 } else { 20_000 };
+    let trace_rounds = if cli.quick { 60 } else { 160 };
 
     let topo = Topology::kiel_testbed_18(1);
     println!("collecting shared training trace ({trace_rounds} rounds)...");
-    let traces = TraceCollector::new(&topo, 21).collect(trace_rounds);
+    let traces = Arc::new(TraceCollector::new(&topo, 21).collect(trace_rounds));
 
-    if part == "nodes" || part == "both" {
-        println!("\n== Fig. 4b(i): number of input nodes K (M = 2) ==");
-        println!(
-            "{:>8} {:>14} {:>12} {:>12}",
-            "K", "radio-on [ms]", "reliability", "DQN [kB]"
-        );
-        for k in [1usize, 5, 10, 15, 18] {
-            let cfg = DimmerConfig::default().with_k_input_nodes(k);
-            let row = fig4b_row(&cfg, &traces, models, iterations, 40);
-            println!(
-                "{:>8} {:>14.2} {:>12.4} {:>12.2}",
-                k, row.radio_on_ms, row.reliability, row.dqn_size_kb
-            );
-        }
-        println!(
-            "(paper: K = 1..5 wastes energy, K = 18 overfits; K = 10 minimizes radio-on time)"
-        );
-    }
-
-    if part == "history" || part == "both" {
-        println!("\n== Fig. 4b(ii): history size M (K = 10) ==");
-        println!(
-            "{:>8} {:>14} {:>12} {:>12}",
-            "M", "radio-on [ms]", "reliability", "DQN [kB]"
-        );
-        for m in 0usize..=5 {
-            let cfg = DimmerConfig::default().with_history_size(m);
-            let row = fig4b_row(&cfg, &traces, models, iterations, 40);
-            println!(
-                "{:>8} {:>14.2} {:>12.4} {:>12.2}",
-                m, row.radio_on_ms, row.reliability, row.dqn_size_kb
-            );
-        }
-        println!("(paper: no history 98.5% vs 99% with history; more than 2 entries adds little)");
-    }
+    println!(
+        "Fig. 4b — {} models per cell (part: {part}), {} worker threads",
+        opts.trials, opts.threads
+    );
+    let report = fig4b_grid(traces, iterations, 40, &part).run(&opts);
+    report.print_table();
+    println!("(paper: K = 1..5 wastes energy, K = 18 overfits, K = 10 minimizes radio-on time;");
+    println!(" no history 98.5% vs 99% with history, more than 2 entries adds little)");
+    cli.emit_json(&report);
 }

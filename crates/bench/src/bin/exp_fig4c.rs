@@ -6,12 +6,20 @@
 //! baseline (14.4 ms); Dimmer's advantage is the lower radio-on time.
 //!
 //! ```text
-//! cargo run --release -p dimmer-bench --bin exp_fig4c [-- --protocol pid|dimmer] [--quick]
+//! cargo run --release -p dimmer-bench --bin exp_fig4c -- \
+//!     [--protocol pid|dimmer] [--quick] \
+//!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
+//!
+//! With the default `--trials 1`, the per-minute timeline of each protocol
+//! is printed (the figure's actual content) in addition to the aggregate
+//! table; with more trials only the aggregates are shown.
 
-use dimmer_bench::experiments::{fig4c_dimmer, fig4c_pid};
-use dimmer_bench::scenarios::{arg_value, dimmer_policy, quick_flag};
+use dimmer_bench::experiments::{fig4c_dimmer, fig4c_grid, fig4c_pid, CachedRun};
+use dimmer_bench::harness::HarnessCli;
+use dimmer_bench::scenarios::{arg_value, dimmer_policy};
 use dimmer_core::DimmerRoundReport;
+use dimmer_sim::SimRng;
 
 fn print_timeline(label: &str, reports: &[DimmerRoundReport]) {
     println!("\n== {label}: per-minute timeline ==");
@@ -42,21 +50,45 @@ fn print_timeline(label: &str, reports: &[DimmerRoundReport]) {
 }
 
 fn main() {
-    let quick = quick_flag();
+    let cli = HarnessCli::parse(7);
     let protocol = arg_value("--protocol").unwrap_or_else(|| "both".to_string());
     if !["dimmer", "pid", "both"].contains(&protocol.as_str()) {
         eprintln!("error: unknown --protocol '{protocol}' (expected dimmer, pid or both)");
         std::process::exit(2);
     }
-    let minutes: u64 = if quick { 14 } else { 27 };
+    let minutes: u64 = if cli.quick { 14 } else { 27 };
     let rounds = (minutes * 60 / 4) as usize;
+    let opts = cli.run_options(1);
+    let policy = dimmer_policy(cli.quick);
 
-    if protocol == "dimmer" || protocol == "both" {
-        let reports = fig4c_dimmer(dimmer_policy(quick), rounds, 7);
-        print_timeline("Dimmer (Fig. 4c)", &reports);
+    let mut dimmer_cache = None;
+    let mut pid_cache = None;
+    if opts.trials == 1 {
+        // Single-trial timelines, using the same derived seeds as the
+        // harness cells (the dimmer cell precedes the pid cell when both
+        // are selected) so the timeline matches the JSON report; the runs
+        // are handed to the grid as a cache so nothing simulates twice.
+        if protocol != "pid" {
+            let seed = SimRng::derive_seed(opts.seed, &[0, 0]);
+            let reports = fig4c_dimmer(policy.clone(), rounds, seed);
+            print_timeline("Dimmer (Fig. 4c)", &reports);
+            dimmer_cache = Some(CachedRun::new(seed, reports));
+        }
+        if protocol != "dimmer" {
+            let pid_cell = if protocol == "pid" { 0 } else { 1 };
+            let seed = SimRng::derive_seed(opts.seed, &[pid_cell, 0]);
+            let reports = fig4c_pid(rounds, seed);
+            print_timeline("PID baseline (Fig. 4d)", &reports);
+            pid_cache = Some(CachedRun::new(seed, reports));
+        }
+        println!();
     }
-    if protocol == "pid" || protocol == "both" {
-        let reports = fig4c_pid(rounds, 7);
-        print_timeline("PID baseline (Fig. 4d)", &reports);
-    }
+
+    println!(
+        "Fig. 4c/4d aggregates — {rounds} rounds x {} trials, {} worker threads",
+        opts.trials, opts.threads
+    );
+    let report = fig4c_grid(policy, rounds, &protocol, dimmer_cache, pid_cache).run(&opts);
+    report.print_table();
+    cli.emit_json(&report);
 }

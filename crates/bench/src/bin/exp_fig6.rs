@@ -6,61 +6,65 @@
 //! and the radio-on time drops from 11.04 ms to 9.55 ms.
 //!
 //! ```text
-//! cargo run --release -p dimmer-bench --bin exp_fig6 [-- --quick]
+//! cargo run --release -p dimmer-bench --bin exp_fig6 -- \
+//!     [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
+//!
+//! With the default `--trials 1`, the 30-minute-bucket timeline of the
+//! selection run is printed in addition to the aggregate table.
 
-use dimmer_bench::experiments::fig6_run;
-use dimmer_bench::scenarios::quick_flag;
-use dimmer_core::DimmerRoundReport;
+use dimmer_bench::experiments::{fig6_grid, fig6_single, CachedRun};
+use dimmer_bench::harness::HarnessCli;
+use dimmer_sim::SimRng;
 
 fn main() {
-    let quick = quick_flag();
+    let cli = HarnessCli::parse(3);
     // 5 hours of 4-second rounds = 4500 rounds in the paper's run.
-    let rounds = if quick { 900 } else { 4500 };
+    let rounds = if cli.quick { 900 } else { 4500 };
+    let opts = cli.run_options(1);
 
     println!(
-        "Fig. 6 — forwarder selection over {} rounds ({} hours of 4 s rounds)",
+        "Fig. 6 — forwarder selection over {} rounds ({} hours of 4 s rounds), {} trials, {} worker threads",
         rounds,
-        rounds * 4 / 3600
+        rounds * 4 / 3600,
+        opts.trials,
+        opts.threads
     );
-    let summary = fig6_run(rounds, 3);
 
-    println!(
-        "{:>8} {:>12} {:>12} {:>14}",
-        "minute", "forwarders", "reliability", "radio-on [ms]"
-    );
-    let bucket = 450; // 30 simulated minutes per row
-    for (i, chunk) in summary.with_fs.chunks(bucket).enumerate() {
-        let n = chunk.len() as f64;
-        let fwd = chunk
-            .iter()
-            .map(|r| r.active_forwarders as f64)
-            .sum::<f64>()
-            / n;
-        let rel = chunk.iter().map(|r| r.reliability).sum::<f64>() / n;
-        let on = chunk
-            .iter()
-            .map(|r| r.mean_radio_on.as_millis_f64())
-            .sum::<f64>()
-            / n;
-        println!("{:>8} {:>12.1} {:>12.4} {:>14.2}", i * 30, fwd, rel, on);
+    let mut selection_cache = None;
+    if opts.trials == 1 {
+        // Single-trial timeline with the selection cell's derived seed
+        // (cell 0), matching the JSON report; the run is handed to the grid
+        // as a cache so it is not simulated twice.
+        let seed = SimRng::derive_seed(opts.seed, &[0, 0]);
+        let with_fs = fig6_single(rounds, seed, true);
+        println!(
+            "{:>8} {:>12} {:>12} {:>14}",
+            "minute", "forwarders", "reliability", "radio-on [ms]"
+        );
+        let bucket = 450; // 30 simulated minutes per row
+        for (i, chunk) in with_fs.chunks(bucket).enumerate() {
+            let n = chunk.len() as f64;
+            let fwd = chunk
+                .iter()
+                .map(|r| r.active_forwarders as f64)
+                .sum::<f64>()
+                / n;
+            let rel = chunk.iter().map(|r| r.reliability).sum::<f64>() / n;
+            let on = chunk
+                .iter()
+                .map(|r| r.mean_radio_on.as_millis_f64())
+                .sum::<f64>()
+                / n;
+            println!("{:>8} {:>12.1} {:>12.4} {:>14.2}", i * 30, fwd, rel, on);
+        }
+        println!();
+        selection_cache = Some(CachedRun::new(seed, with_fs));
     }
 
-    let mean = |v: &[DimmerRoundReport], f: fn(&DimmerRoundReport) -> f64| {
-        v.iter().map(f).sum::<f64>() / v.len() as f64
-    };
-    println!("\nsummary over the full run:");
-    println!(
-        "  with forwarder selection    : reliability {:.2}%, radio-on {:.2} ms, forwarders {:.1}",
-        mean(&summary.with_fs, |r| r.reliability) * 100.0,
-        mean(&summary.with_fs, |r| r.mean_radio_on.as_millis_f64()),
-        summary.mean_forwarders()
-    );
-    println!(
-        "  without forwarder selection : reliability {:.2}%, radio-on {:.2} ms, forwarders {:.1}",
-        mean(&summary.without_fs, |r| r.reliability) * 100.0,
-        mean(&summary.without_fs, |r| r.mean_radio_on.as_millis_f64()),
-        mean(&summary.without_fs, |r| r.active_forwarders as f64)
-    );
-    println!("  (paper: 99.9% reliability; 9.55 ms with vs 11.04 ms without forwarder selection)");
+    let report = fig6_grid(rounds, selection_cache).run(&opts);
+    report.print_table();
+    println!("(paper: 99.9% reliability; 9.55 ms with vs 11.04 ms without forwarder selection,");
+    println!(" active forwarders dropping towards ~14 of 18)");
+    cli.emit_json(&report);
 }

@@ -8,47 +8,36 @@
 //! interference while LWB's also grows because of lost synchronization.
 //!
 //! ```text
-//! cargo run --release -p dimmer-bench --bin exp_fig7 [-- --quick]
+//! cargo run --release -p dimmer-bench --bin exp_fig7 -- \
+//!     [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
+//!
+//! Cells are `protocol x interference scenario`; each cell is repeated
+//! `--trials` times with derived seeds and aggregated (mean ± 95 % CI).
 
-use dimmer_bench::experiments::{fig7_cell, Fig7Cell, Fig7Scenario};
-use dimmer_bench::scenarios::{dimmer_policy, quick_flag};
+use dimmer_bench::experiments::fig7_grid;
+use dimmer_bench::harness::HarnessCli;
+use dimmer_bench::scenarios::dimmer_policy;
 
 fn main() {
-    let quick = quick_flag();
+    let cli = HarnessCli::parse(300);
     // Paper: ten 10-minute experiments with 1-second rounds per cell.
-    let rounds = if quick { 200 } else { 600 };
-    let repetitions = if quick { 1 } else { 3 };
-    let policy = dimmer_policy(quick);
+    let rounds = if cli.quick { 200 } else { 600 };
+    let opts = cli.run_options(if cli.quick { 1 } else { 3 });
+    let policy = dimmer_policy(cli.quick);
 
     println!(
-        "Fig. 7 — 48-node D-Cube stand-in, {rounds} rounds x {repetitions} runs per cell (5 sources -> sink)"
+        "Fig. 7 — 48-node D-Cube stand-in, {rounds} rounds x {} trials per cell (5 sources -> sink), {} worker threads",
+        opts.trials, opts.threads
     );
-    println!(
-        "{:<12} | {:>9} {:>11} {:>11} | {:>9} {:>11} {:>11}",
-        "scenario", "LWB rel", "Dimmer rel", "Crystal rel", "LWB J", "Dimmer J", "Crystal J"
-    );
+    let report = fig7_grid(policy, rounds).run(&opts);
+    report.print_table();
 
-    for scenario in Fig7Scenario::ALL {
-        let cells: Vec<Fig7Cell> = (0..repetitions)
-            .map(|rep| fig7_cell(scenario, policy.clone(), rounds, 300 + rep as u64))
-            .collect();
-        let mean = |f: fn(&Fig7Cell) -> f64| cells.iter().map(f).sum::<f64>() / cells.len() as f64;
-        println!(
-            "{:<12} | {:>8.1}% {:>10.1}% {:>10.1}% | {:>9.1} {:>11.1} {:>11.1}",
-            scenario.label(),
-            mean(|c| c.lwb.reliability) * 100.0,
-            mean(|c| c.dimmer.reliability) * 100.0,
-            mean(|c| c.crystal.reliability) * 100.0,
-            mean(|c| c.lwb.energy_joules),
-            mean(|c| c.dimmer.energy_joules),
-            mean(|c| c.crystal.energy_joules),
-        );
-    }
     println!(
         "\nexpected shape (paper): LWB collapses under WiFi level 2 (~27%), Dimmer stays above"
     );
     println!(
         "95%, Crystal around 99-100%; Dimmer's energy approaches Crystal's under interference."
     );
+    cli.emit_json(&report);
 }

@@ -1,0 +1,47 @@
+//! Scenario-grid sweeps beyond the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p dimmer-bench --bin exp_sweep -- \
+//!     --preset fig5-seeds|topology-size \
+//!     [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+//! ```
+//!
+//! Presets:
+//!
+//! * `fig5-seeds` — the Fig. 5 jamming comparison at 10 % and 25 % duty
+//!   cycle, defaulting to 16 trials per cell to estimate the reliability
+//!   *distribution* rather than a point sample.
+//! * `topology-size` — Dimmer vs static LWB on square grid topologies
+//!   (3x3 .. 6x6) with a jammer at the grid centre: a scalability sweep
+//!   that was impractical before the parallel engine.
+
+use dimmer_bench::experiments::{fig5_seed_sweep_grid, topology_size_grid};
+use dimmer_bench::harness::HarnessCli;
+use dimmer_bench::scenarios::{arg_value, dimmer_policy};
+
+fn main() {
+    let cli = HarnessCli::parse(500);
+    let preset = arg_value("--preset").unwrap_or_else(|| "fig5-seeds".to_string());
+    let rounds = if cli.quick { 40 } else { 120 };
+
+    let (grid, default_trials) = match preset.as_str() {
+        "fig5-seeds" => (fig5_seed_sweep_grid(dimmer_policy(cli.quick), rounds), 16),
+        "topology-size" => (topology_size_grid(rounds, &[3, 4, 5, 6]), 8),
+        other => {
+            eprintln!("error: unknown --preset '{other}' (expected fig5-seeds or topology-size)");
+            std::process::exit(2);
+        }
+    };
+
+    let opts = cli.run_options(default_trials);
+    println!(
+        "sweep '{}' — {} cells x {} trials ({rounds} rounds each), {} worker threads",
+        grid.name(),
+        grid.len(),
+        opts.trials,
+        opts.threads
+    );
+    let report = grid.run(&opts);
+    report.print_table();
+    cli.emit_json(&report);
+}

@@ -2,13 +2,19 @@
 //! network's memory cost.
 //!
 //! ```text
-//! cargo run --release -p dimmer-bench --bin exp_table1
+//! cargo run --release -p dimmer-bench --bin exp_table1 -- \
+//!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
+//!
+//! The footprint is deterministic, so trials only exist for interface
+//! parity with the other binaries (the JSON report shows stddev 0).
 
-use dimmer_bench::experiments::table1_summary;
+use dimmer_bench::experiments::{table1_grid, table1_summary};
+use dimmer_bench::harness::HarnessCli;
 use dimmer_core::DimmerConfig;
 
 fn main() {
+    let cli = HarnessCli::parse(1);
     let cfg = DimmerConfig::default();
     let summary = table1_summary(&cfg);
 
@@ -47,4 +53,9 @@ fn main() {
         "pretrained weights shipped with dimmer-core: {}",
         summary.pretrained_shipped
     );
+
+    if cli.json.is_some() {
+        let report = table1_grid(&cfg).run(&cli.run_options(1));
+        cli.emit_json(&report);
+    }
 }

@@ -1,11 +1,24 @@
-//! Reusable, testable cores of the six `exp_*` binaries.
+//! Reusable, testable cores of the `exp_*` binaries and their scenario-grid
+//! builders.
 //!
-//! Each experiment binary is a thin CLI wrapper (argument parsing and table
-//! printing) around one of the builders in this module. The builders take
-//! explicit sizes and an [`AdaptivityPolicy`], so the smoke tests in
-//! `tests/tests/exp_smoke.rs` can exercise every scenario with a handful of
-//! rounds and a rule-based policy without paying for DQN training.
+//! The experiment stack has three layers. At the bottom sit the
+//! **single-trial builders** (`table1_summary`, `fig5_run`, `fig7_cell`,
+//! ...): plain functions taking explicit sizes, a seed and an
+//! [`AdaptivityPolicy`], so the smoke tests in `tests/tests/exp_smoke.rs`
+//! can exercise every scenario with a handful of rounds and a rule-based
+//! policy without paying for DQN training. On top of those, the
+//! **grid builders** (`fig5_grid`, `topology_size_grid`, ...) describe each
+//! experiment as a [`ScenarioGrid`] — one cell per parameter combination,
+//! each cell running one single-trial builder from a derived seed. The
+//! binaries are then thin shells that parse
+//! `--trials/--threads/--seed/--json` via
+//! [`HarnessCli`](crate::harness::HarnessCli), hand the grid to the
+//! parallel engine in [`crate::harness`], and print/serialize the
+//! aggregated [`GridReport`](crate::report::GridReport).
 
+use std::sync::Arc;
+
+use crate::harness::{ScenarioGrid, TrialMetrics};
 use crate::scenarios::{dynamic_interference_scenario, kiel_jamming, summarize, ProtocolSummary};
 use dimmer_baselines::{CrystalConfig, CrystalRunner, PidController, PidRunner, StaticLwbRunner};
 use dimmer_core::{
@@ -15,8 +28,8 @@ use dimmer_lwb::{LwbConfig, TrafficPattern};
 use dimmer_neural::{Mlp, QuantizedNetwork};
 use dimmer_rl::DqnConfig;
 use dimmer_sim::{
-    InterferenceModel, NoInterference, NodeId, SimDuration, SimRng, Topology, WifiInterference,
-    WifiLevel,
+    CompositeInterference, InterferenceModel, NoInterference, NodeId, PeriodicJammer, SimDuration,
+    SimRng, Topology, WifiInterference, WifiLevel,
 };
 use dimmer_traces::{train_policy, TraceDataset};
 
@@ -152,38 +165,96 @@ pub struct Fig5Cell {
     pub pid: ProtocolSummary,
 }
 
+/// The three protocols compared throughout the testbed evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Static LWB at a fixed `N_TX = 3`.
+    Lwb,
+    /// Dimmer with a given adaptivity policy.
+    Dimmer,
+    /// The PID/PI controller baseline.
+    Pid,
+}
+
+impl Protocol {
+    /// The protocols in the presentation order of Fig. 5.
+    pub const ALL: [Protocol; 3] = [Protocol::Lwb, Protocol::Dimmer, Protocol::Pid];
+
+    /// Lower-case label used in cell names and JSON params.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Lwb => "lwb",
+            Protocol::Dimmer => "dimmer",
+            Protocol::Pid => "pid",
+        }
+    }
+}
+
+/// Runs one protocol for `rounds` rounds on the 18-node testbed under
+/// static jamming at `level` duty cycle (one Fig. 5 trial).
+pub fn fig5_run(
+    protocol: Protocol,
+    level: f64,
+    policy: &AdaptivityPolicy,
+    rounds: usize,
+    seed: u64,
+) -> ProtocolSummary {
+    let topo = Topology::kiel_testbed_18(1);
+    let interference = kiel_jamming(level);
+    run_protocol(protocol, &topo, &interference, policy, rounds, seed)
+}
+
+/// Runs `protocol` on `topo` under `interference` and summarizes the rounds.
+fn run_protocol(
+    protocol: Protocol,
+    topo: &Topology,
+    interference: &dyn InterferenceModel,
+    policy: &AdaptivityPolicy,
+    rounds: usize,
+    seed: u64,
+) -> ProtocolSummary {
+    match protocol {
+        Protocol::Lwb => {
+            let mut lwb =
+                StaticLwbRunner::new(topo, interference, LwbConfig::testbed_default(), 3, seed);
+            summarize(&lwb.run_rounds(rounds))
+        }
+        Protocol::Dimmer => {
+            let cfg = DimmerConfig::default();
+            // Keep the DQN input layout valid on topologies smaller than the
+            // default K = 10 input nodes.
+            let k = cfg.k_input_nodes.min(topo.num_nodes());
+            let cfg = cfg.with_k_input_nodes(k);
+            let mut dimmer = DimmerRunner::new(
+                topo,
+                interference,
+                LwbConfig::testbed_default(),
+                cfg,
+                policy.clone(),
+                seed,
+            );
+            summarize(&dimmer.run_rounds(rounds))
+        }
+        Protocol::Pid => {
+            let mut pid = PidRunner::new(
+                topo,
+                interference,
+                LwbConfig::testbed_default(),
+                PidController::paper_pi(),
+                seed,
+            );
+            summarize(&pid.run_rounds(rounds))
+        }
+    }
+}
+
 /// Runs the three protocols for `rounds` rounds under static jamming at
 /// `level` duty cycle (`exp_fig5`).
 pub fn fig5_cell(level: f64, policy: AdaptivityPolicy, rounds: usize, seed: u64) -> Fig5Cell {
-    let topo = Topology::kiel_testbed_18(1);
-    let interference = kiel_jamming(level);
-
-    let mut lwb = StaticLwbRunner::new(&topo, &interference, LwbConfig::testbed_default(), 3, seed);
-    let lwb_summary = summarize(&lwb.run_rounds(rounds));
-
-    let mut dimmer = DimmerRunner::new(
-        &topo,
-        &interference,
-        LwbConfig::testbed_default(),
-        DimmerConfig::default(),
-        policy,
-        seed,
-    );
-    let dimmer_summary = summarize(&dimmer.run_rounds(rounds));
-
-    let mut pid = PidRunner::new(
-        &topo,
-        &interference,
-        LwbConfig::testbed_default(),
-        PidController::paper_pi(),
-        seed,
-    );
-    let pid_summary = summarize(&pid.run_rounds(rounds));
-
     Fig5Cell {
-        lwb: lwb_summary,
-        dimmer: dimmer_summary,
-        pid: pid_summary,
+        lwb: fig5_run(Protocol::Lwb, level, &policy, rounds, seed),
+        dimmer: fig5_run(Protocol::Dimmer, level, &policy, rounds, seed),
+        pid: fig5_run(Protocol::Pid, level, &policy, rounds, seed),
     }
 }
 
@@ -210,14 +281,18 @@ impl Fig6Summary {
     }
 }
 
-/// Runs the interference-free forwarder-selection experiment (`exp_fig6`):
-/// DQN deactivated, Exp3 bandits learning passive roles.
-pub fn fig6_run(rounds: usize, seed: u64) -> Fig6Summary {
+/// Runs one Fig. 6 variant: the interference-free forwarder-selection
+/// scenario with Exp3 bandits either learning passive roles
+/// (`selection = true`) or disabled so every device keeps forwarding.
+pub fn fig6_single(rounds: usize, seed: u64, selection: bool) -> Vec<DimmerRoundReport> {
     let topo = Topology::kiel_testbed_18(1);
-
     let mut cfg = DimmerConfig::default().without_adaptivity();
-    cfg.forwarder.calm_rounds_threshold = 1;
-    let mut with_fs = DimmerRunner::new(
+    if selection {
+        cfg.forwarder.calm_rounds_threshold = 1;
+    } else {
+        cfg.forwarder.enabled = false;
+    }
+    let mut runner = DimmerRunner::new(
         &topo,
         &NoInterference,
         LwbConfig::testbed_default(),
@@ -225,21 +300,16 @@ pub fn fig6_run(rounds: usize, seed: u64) -> Fig6Summary {
         AdaptivityPolicy::rule_based(),
         seed,
     );
+    runner.run_rounds(rounds)
+}
 
-    let mut no_fs_cfg = DimmerConfig::default().without_adaptivity();
-    no_fs_cfg.forwarder.enabled = false;
-    let mut without_fs = DimmerRunner::new(
-        &topo,
-        &NoInterference,
-        LwbConfig::testbed_default(),
-        no_fs_cfg,
-        AdaptivityPolicy::rule_based(),
-        seed,
-    );
-
+/// Runs the interference-free forwarder-selection experiment (`exp_fig6`):
+/// DQN deactivated, Exp3 bandits learning passive roles, next to the
+/// all-forwarders reference run.
+pub fn fig6_run(rounds: usize, seed: u64) -> Fig6Summary {
     Fig6Summary {
-        with_fs: with_fs.run_rounds(rounds),
-        without_fs: without_fs.run_rounds(rounds),
+        with_fs: fig6_single(rounds, seed, true),
+        without_fs: fig6_single(rounds, seed, false),
     }
 }
 
@@ -300,6 +370,104 @@ pub struct Fig7Cell {
     pub crystal: AppOutcome,
 }
 
+/// The protocols of the Fig. 7 D-Cube comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig7Protocol {
+    /// Static LWB without channel hopping.
+    Lwb,
+    /// Dimmer with channel hopping and ACKs, no retraining.
+    Dimmer,
+    /// The Crystal baseline.
+    Crystal,
+}
+
+impl Fig7Protocol {
+    /// The protocols in presentation order.
+    pub const ALL: [Fig7Protocol; 3] = [
+        Fig7Protocol::Lwb,
+        Fig7Protocol::Dimmer,
+        Fig7Protocol::Crystal,
+    ];
+
+    /// Lower-case label used in cell names and JSON params.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig7Protocol::Lwb => "lwb",
+            Fig7Protocol::Dimmer => "dimmer",
+            Fig7Protocol::Crystal => "crystal",
+        }
+    }
+}
+
+/// Runs one protocol on the 48-node aperiodic-collection workload under
+/// `scenario` (one Fig. 7 trial).
+pub fn fig7_run(
+    protocol: Fig7Protocol,
+    scenario: Fig7Scenario,
+    policy: &AdaptivityPolicy,
+    rounds: usize,
+    seed: u64,
+) -> AppOutcome {
+    let topo = Topology::dcube_48(7);
+    let interference = scenario.interference(seed);
+    let traffic = || TrafficPattern::dcube_collection(topo.num_nodes(), 5, topo.coordinator());
+
+    match protocol {
+        Fig7Protocol::Lwb => {
+            let mut lwb = StaticLwbRunner::new(
+                &topo,
+                interference.as_ref(),
+                LwbConfig::dcube_default().with_channel_hopping(false),
+                3,
+                seed,
+            )
+            .with_traffic(traffic());
+            lwb.run_rounds(rounds);
+            AppOutcome {
+                reliability: lwb.app_reliability(),
+                energy_joules: lwb.total_energy_joules(),
+            }
+        }
+        Fig7Protocol::Dimmer => {
+            let mut dimmer = DimmerRunner::new(
+                &topo,
+                interference.as_ref(),
+                LwbConfig::dcube_default(),
+                DimmerConfig::dcube(),
+                policy.clone(),
+                seed,
+            )
+            .with_traffic(traffic());
+            dimmer.run_rounds(rounds);
+            AppOutcome {
+                reliability: dimmer.app_reliability(),
+                energy_joules: dimmer.total_energy_joules(),
+            }
+        }
+        Fig7Protocol::Crystal => {
+            let sink = topo.coordinator();
+            let all: Vec<NodeId> = topo.node_ids().collect();
+            let mut rng = SimRng::seed_from(seed ^ 0xC11);
+            let mut crystal = CrystalRunner::new(
+                &topo,
+                interference.as_ref(),
+                CrystalConfig::ewsn2019(),
+                sink,
+                seed,
+            );
+            let crystal_traffic = traffic();
+            for _ in 0..rounds {
+                let sources = crystal_traffic.sources_for_round(&all, &mut rng);
+                crystal.run_epoch(&sources, SimDuration::from_secs(1));
+            }
+            AppOutcome {
+                reliability: crystal.app_reliability(),
+                energy_joules: crystal.total_energy_joules(),
+            }
+        }
+    }
+}
+
 /// Runs the three protocols on the 48-node aperiodic-collection workload
 /// under `scenario` (`exp_fig7`).
 pub fn fig7_cell(
@@ -308,64 +476,331 @@ pub fn fig7_cell(
     rounds: usize,
     seed: u64,
 ) -> Fig7Cell {
-    let topo = Topology::dcube_48(7);
-    let interference = scenario.interference(seed);
-    let traffic = || TrafficPattern::dcube_collection(topo.num_nodes(), 5, topo.coordinator());
+    Fig7Cell {
+        lwb: fig7_run(Fig7Protocol::Lwb, scenario, &policy, rounds, seed),
+        dimmer: fig7_run(Fig7Protocol::Dimmer, scenario, &policy, rounds, seed),
+        crystal: fig7_run(Fig7Protocol::Crystal, scenario, &policy, rounds, seed),
+    }
+}
 
-    let mut lwb = StaticLwbRunner::new(
-        &topo,
-        interference.as_ref(),
-        LwbConfig::dcube_default().with_channel_hopping(false),
-        3,
-        seed,
-    )
-    .with_traffic(traffic());
-    lwb.run_rounds(rounds);
-    let lwb_outcome = AppOutcome {
-        reliability: lwb.app_reliability(),
-        energy_joules: lwb.total_energy_joules(),
-    };
+// ---------------------------------------------------------------------------
+// Scenario-grid builders: each experiment described as cells × trials for the
+// parallel engine in `crate::harness`.
+// ---------------------------------------------------------------------------
 
-    let mut dimmer = DimmerRunner::new(
-        &topo,
-        interference.as_ref(),
-        LwbConfig::dcube_default(),
-        DimmerConfig::dcube(),
-        policy,
-        seed,
-    )
-    .with_traffic(traffic());
-    dimmer.run_rounds(rounds);
-    let dimmer_outcome = AppOutcome {
-        reliability: dimmer.app_reliability(),
-        energy_joules: dimmer.total_energy_joules(),
-    };
+/// Converts a [`ProtocolSummary`] into harness metrics.
+///
+/// `latency_ms` is a derived expected per-packet delivery latency under
+/// round-level retransmission: with per-round delivery probability `r`, a
+/// packet needs `1/r` rounds in expectation, i.e. `round_period / r`
+/// (reliability is clamped to `1e-3` to keep the metric finite).
+fn summary_metrics(s: &ProtocolSummary, round_period_ms: f64) -> TrialMetrics {
+    TrialMetrics::new()
+        .with("reliability", s.reliability)
+        .with("radio_on_ms", s.radio_on_ms)
+        .with("latency_ms", round_period_ms / s.reliability.max(1e-3))
+        .with("mean_ntx", s.mean_ntx)
+}
 
-    let sink = topo.coordinator();
-    let all: Vec<NodeId> = topo.node_ids().collect();
-    let mut rng = SimRng::seed_from(seed ^ 0xC11);
-    let mut crystal = CrystalRunner::new(
-        &topo,
-        interference.as_ref(),
-        CrystalConfig::ewsn2019(),
-        sink,
+/// The testbed round period in milliseconds (4-second LWB rounds).
+fn testbed_period_ms() -> f64 {
+    LwbConfig::testbed_default().round_period.as_millis_f64()
+}
+
+/// The Table I / §IV-B footprint numbers as a single-cell grid
+/// (`exp_table1`). The metrics are deterministic, so every trial reproduces
+/// the same values (stddev 0).
+pub fn table1_grid(cfg: &DimmerConfig) -> ScenarioGrid {
+    let cfg = cfg.clone();
+    let mut grid = ScenarioGrid::new("table1");
+    grid.push_cell("dqn_footprint", vec![], move |_seed| {
+        let s = table1_summary(&cfg);
+        TrialMetrics::new()
+            .with("state_dim", s.state_dim as f64)
+            .with("parameters", s.parameters as f64)
+            .with("flash_bytes", s.flash_bytes as f64)
+            .with("ram_bytes", s.ram_bytes as f64)
+    });
+    grid
+}
+
+/// One Fig. 4b trial: trains a fresh policy on `traces` with the trial's
+/// seed and evaluates it on the mixed calm/25 %-jamming/calm scenario.
+pub fn fig4b_trial(
+    cfg: &DimmerConfig,
+    traces: &TraceDataset,
+    iterations: usize,
+    eval_rounds: usize,
+    seed: u64,
+) -> TrialMetrics {
+    let report = train_policy(
+        traces,
+        cfg,
+        &DqnConfig::quick().with_iterations(iterations),
         seed,
     );
-    let crystal_traffic = traffic();
-    for _ in 0..rounds {
-        let sources = crystal_traffic.sources_for_round(&all, &mut rng);
-        crystal.run_epoch(&sources, SimDuration::from_secs(1));
+    let size_kb = QuantizedNetwork::from_mlp(&report.policy).flash_size_bytes() as f64 / 1024.0;
+    let topo = Topology::kiel_testbed_18(1);
+    let mut radio = 0.0;
+    let mut rel = 0.0;
+    for (phase, duty) in [(0u64, 0.0), (1, 0.25), (2, 0.0)] {
+        let interference = kiel_jamming(duty);
+        let mut runner = DimmerRunner::new(
+            &topo,
+            &interference,
+            LwbConfig::testbed_default(),
+            cfg.clone(),
+            report.quantized_policy(),
+            SimRng::split_seed(seed, phase),
+        );
+        let summary = summarize(&runner.run_rounds(eval_rounds));
+        radio += summary.radio_on_ms;
+        rel += summary.reliability;
     }
-    let crystal_outcome = AppOutcome {
-        reliability: crystal.app_reliability(),
-        energy_joules: crystal.total_energy_joules(),
-    };
+    TrialMetrics::new()
+        .with("radio_on_ms", radio / 3.0)
+        .with("reliability", rel / 3.0)
+        .with("dqn_size_kb", size_kb)
+}
 
-    Fig7Cell {
-        lwb: lwb_outcome,
-        dimmer: dimmer_outcome,
-        crystal: crystal_outcome,
+/// The Fig. 4b feature-selection grid (`exp_fig4b`): input-node counts
+/// K ∈ {1, 5, 10, 15, 18} (part `"nodes"`) and history sizes M ∈ {0..5}
+/// (part `"history"`); `"both"` selects all eleven cells. All cells train
+/// on the shared `traces`.
+pub fn fig4b_grid(
+    traces: Arc<TraceDataset>,
+    iterations: usize,
+    eval_rounds: usize,
+    part: &str,
+) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("fig4b");
+    if part == "nodes" || part == "both" {
+        for k in [1usize, 5, 10, 15, 18] {
+            let traces = Arc::clone(&traces);
+            grid.push_cell(
+                format!("K={k}"),
+                vec![
+                    ("part".into(), "nodes".into()),
+                    ("k_input_nodes".into(), k.to_string()),
+                ],
+                move |seed| {
+                    let cfg = DimmerConfig::default().with_k_input_nodes(k);
+                    fig4b_trial(&cfg, &traces, iterations, eval_rounds, seed)
+                },
+            );
+        }
     }
+    if part == "history" || part == "both" {
+        for m in 0usize..=5 {
+            let traces = Arc::clone(&traces);
+            grid.push_cell(
+                format!("M={m}"),
+                vec![
+                    ("part".into(), "history".into()),
+                    ("history_size".into(), m.to_string()),
+                ],
+                move |seed| {
+                    let cfg = DimmerConfig::default().with_history_size(m);
+                    fig4b_trial(&cfg, &traces, iterations, eval_rounds, seed)
+                },
+            );
+        }
+    }
+    grid
+}
+
+/// A pre-computed single run that a grid cell may reuse instead of
+/// re-simulating, keyed by the derived trial seed it was produced with.
+///
+/// The `exp_fig4c`/`exp_fig6` binaries print a per-round timeline for the
+/// default single-trial case; handing the same reports to the grid builder
+/// avoids simulating that (seed, configuration) pair a second time. A cell
+/// only uses the cache when the trial seed matches, so a stale cache can
+/// never change results.
+#[derive(Clone)]
+pub struct CachedRun {
+    seed: u64,
+    reports: Arc<Vec<DimmerRoundReport>>,
+}
+
+impl CachedRun {
+    /// Wraps the reports of a run executed with derived trial seed `seed`.
+    pub fn new(seed: u64, reports: Vec<DimmerRoundReport>) -> Self {
+        CachedRun {
+            seed,
+            reports: Arc::new(reports),
+        }
+    }
+
+    /// Returns the cached reports if they were produced with `seed`.
+    fn lookup(cache: &Option<CachedRun>, seed: u64) -> Option<Arc<Vec<DimmerRoundReport>>> {
+        cache
+            .as_ref()
+            .filter(|c| c.seed == seed)
+            .map(|c| Arc::clone(&c.reports))
+    }
+}
+
+/// The Fig. 4c/4d dynamic-interference grid (`exp_fig4c`): Dimmer and/or
+/// the PID baseline (`protocol` is `"dimmer"`, `"pid"` or `"both"`) through
+/// the scripted 27-minute jamming timeline. `dimmer_cache`/`pid_cache` may
+/// hold already-simulated runs (see [`CachedRun`]).
+pub fn fig4c_grid(
+    policy: AdaptivityPolicy,
+    rounds: usize,
+    protocol: &str,
+    dimmer_cache: Option<CachedRun>,
+    pid_cache: Option<CachedRun>,
+) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("fig4c");
+    let period = testbed_period_ms();
+    if protocol != "pid" {
+        grid.push_cell(
+            "dimmer",
+            vec![("protocol".into(), "dimmer".into())],
+            move |seed| {
+                let reports = CachedRun::lookup(&dimmer_cache, seed)
+                    .unwrap_or_else(|| Arc::new(fig4c_dimmer(policy.clone(), rounds, seed)));
+                summary_metrics(&summarize(&reports), period)
+            },
+        );
+    }
+    if protocol != "dimmer" {
+        grid.push_cell(
+            "pid",
+            vec![("protocol".into(), "pid".into())],
+            move |seed| {
+                let reports = CachedRun::lookup(&pid_cache, seed)
+                    .unwrap_or_else(|| Arc::new(fig4c_pid(rounds, seed)));
+                summary_metrics(&summarize(&reports), period)
+            },
+        );
+    }
+    grid
+}
+
+/// The Fig. 5 static-interference grid (`exp_fig5`): every protocol at
+/// every jamming duty cycle in `levels`.
+pub fn fig5_grid(policy: AdaptivityPolicy, rounds: usize, levels: &[f64]) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("fig5");
+    let period = testbed_period_ms();
+    for &level in levels {
+        for protocol in Protocol::ALL {
+            let policy = policy.clone();
+            grid.push_cell(
+                format!("{} @ jam={:.0}%", protocol.label(), level * 100.0),
+                vec![
+                    ("protocol".into(), protocol.label().into()),
+                    ("jamming".into(), format!("{level}")),
+                ],
+                move |seed| {
+                    summary_metrics(&fig5_run(protocol, level, &policy, rounds, seed), period)
+                },
+            );
+        }
+    }
+    grid
+}
+
+/// Preset: a dense seed sweep of the Fig. 5 jamming comparison at 10 % and
+/// 25 % duty cycle (`exp_sweep --preset fig5-seeds`). The cells are the
+/// regular Fig. 5 cells; the point of the preset is running them with large
+/// `--trials` to estimate the *distribution* of each protocol's reliability,
+/// which a single-trial run cannot.
+pub fn fig5_seed_sweep_grid(policy: AdaptivityPolicy, rounds: usize) -> ScenarioGrid {
+    fig5_grid(policy, rounds, &[0.10, 0.25]).renamed("fig5_seed_sweep")
+}
+
+/// Preset: Dimmer vs static LWB on square grid topologies of growing size
+/// with one 15 %-duty-cycle jammer at the grid centre
+/// (`exp_sweep --preset topology-size`) — a scalability sweep no paper
+/// figure covers.
+pub fn topology_size_grid(rounds: usize, sides: &[usize]) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("topology_size");
+    let period = testbed_period_ms();
+    for &side in sides {
+        for protocol in [Protocol::Lwb, Protocol::Dimmer] {
+            grid.push_cell(
+                format!("{} @ {side}x{side}", protocol.label()),
+                vec![
+                    ("protocol".into(), protocol.label().into()),
+                    ("nodes".into(), (side * side).to_string()),
+                ],
+                move |seed| {
+                    let topo = Topology::grid(side, side, 8.0, 1);
+                    // Row-major node indices: the middle row's middle column
+                    // is the centre node (exact for odd sides, half a cell
+                    // off for even ones).
+                    let centre = topo.position(NodeId(((side / 2) * side + side / 2) as u16));
+                    let mut interference = CompositeInterference::new();
+                    interference.push(Box::new(PeriodicJammer::with_duty_cycle(centre, 0.15)));
+                    let policy = AdaptivityPolicy::rule_based();
+                    summary_metrics(
+                        &run_protocol(protocol, &topo, &interference, &policy, rounds, seed),
+                        period,
+                    )
+                },
+            );
+        }
+    }
+    grid
+}
+
+/// The Fig. 6 forwarder-selection grid (`exp_fig6`): Exp3 forwarder
+/// selection against the all-forwarders reference. `selection_cache` may
+/// hold an already-simulated with-selection run (see [`CachedRun`]).
+pub fn fig6_grid(rounds: usize, selection_cache: Option<CachedRun>) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("fig6");
+    let period = testbed_period_ms();
+    for (label, selection) in [("with_selection", true), ("without_selection", false)] {
+        let cache = if selection {
+            selection_cache.clone()
+        } else {
+            None
+        };
+        grid.push_cell(
+            label,
+            vec![("forwarder_selection".into(), selection.to_string())],
+            move |seed| {
+                let reports = CachedRun::lookup(&cache, seed)
+                    .unwrap_or_else(|| Arc::new(fig6_single(rounds, seed, selection)));
+                let forwarders = reports
+                    .iter()
+                    .map(|r| r.active_forwarders as f64)
+                    .sum::<f64>()
+                    / reports.len().max(1) as f64;
+                summary_metrics(&summarize(&reports), period).with("mean_forwarders", forwarders)
+            },
+        );
+    }
+    grid
+}
+
+/// The Fig. 7 D-Cube grid (`exp_fig7`): every protocol under every
+/// interference scenario on the 48-node collection workload.
+pub fn fig7_grid(policy: AdaptivityPolicy, rounds: usize) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("fig7");
+    let period = LwbConfig::dcube_default().round_period.as_millis_f64();
+    for scenario in Fig7Scenario::ALL {
+        for protocol in Fig7Protocol::ALL {
+            let policy = policy.clone();
+            grid.push_cell(
+                format!("{} @ {}", protocol.label(), scenario.label()),
+                vec![
+                    ("protocol".into(), protocol.label().into()),
+                    ("scenario".into(), scenario.label().into()),
+                ],
+                move |seed| {
+                    let outcome = fig7_run(protocol, scenario, &policy, rounds, seed);
+                    TrialMetrics::new()
+                        .with("reliability", outcome.reliability)
+                        .with("energy_joules", outcome.energy_joules)
+                        .with("latency_ms", period / outcome.reliability.max(1e-3))
+                },
+            );
+        }
+    }
+    grid
 }
 
 #[cfg(test)]
@@ -379,6 +814,39 @@ mod tests {
         assert_eq!(s.parameters, 1053);
         assert_eq!(s.flash_bytes, 2106, "31-30-3 quantized network is ~2.1 kB");
         assert_eq!(s.example_state.len(), 31);
+    }
+
+    #[test]
+    fn grid_builders_enumerate_expected_cells() {
+        let policy = AdaptivityPolicy::rule_based();
+        assert_eq!(table1_grid(&DimmerConfig::default()).len(), 1);
+        assert_eq!(fig4c_grid(policy.clone(), 4, "both", None, None).len(), 2);
+        assert_eq!(fig4c_grid(policy.clone(), 4, "pid", None, None).len(), 1);
+        assert_eq!(fig5_grid(policy.clone(), 4, &[0.0, 0.25]).len(), 6);
+        assert_eq!(fig5_seed_sweep_grid(policy.clone(), 4).len(), 6);
+        assert_eq!(
+            fig5_seed_sweep_grid(policy.clone(), 4).name(),
+            "fig5_seed_sweep"
+        );
+        assert_eq!(fig6_grid(4, None).len(), 2);
+        assert_eq!(fig7_grid(policy, 4).len(), 9);
+        assert_eq!(topology_size_grid(4, &[3, 4]).len(), 4);
+    }
+
+    #[test]
+    fn topology_size_cells_run_on_small_grids() {
+        use crate::harness::RunOptions;
+        let report = topology_size_grid(4, &[3]).run(&RunOptions {
+            trials: 2,
+            threads: 2,
+            seed: 9,
+        });
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            let rel = cell.metric("reliability").unwrap();
+            assert!(rel.mean.is_finite() && (0.0..=1.0).contains(&rel.mean));
+            assert!(cell.metric("latency_ms").unwrap().mean > 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! The parallel multi-trial experiment engine.
+//!
+//! The paper's headline results are *distributions* over many seeds and
+//! interference scenarios, so every experiment binary drives its scenario
+//! through this engine instead of a hand-rolled single-trial loop:
+//!
+//! 1. Describe the scenario space as a [`ScenarioGrid`] — one [`GridCell`]
+//!    per parameter combination (policy × interference × topology ×
+//!    traffic), each holding a closure that runs *one* trial from a seed.
+//! 2. Call [`ScenarioGrid::run`] with [`RunOptions`] (`--trials`,
+//!    `--threads`, `--seed`). The engine fans the `cells × trials` jobs out
+//!    across worker threads.
+//! 3. Get back a [`GridReport`] with per-cell mean / stddev / 95 % CI per
+//!    metric, printable as a table or serializable to JSON.
+//!
+//! # Determinism
+//!
+//! Each trial's seed is derived statelessly from
+//! `(base seed, cell index, trial index)` via [`SimRng::derive_seed`], and
+//! results are written into pre-allocated slots keyed by job index, so the
+//! aggregated report is **bit-identical regardless of the number of worker
+//! threads** or how the OS schedules them. `--threads` only changes
+//! wall-clock time, never results.
+//!
+//! # Examples
+//!
+//! ```
+//! use dimmer_bench::harness::{RunOptions, ScenarioGrid, TrialMetrics};
+//!
+//! let mut grid = ScenarioGrid::new("demo");
+//! for bias in [0.0, 1.0] {
+//!     grid.push_cell(
+//!         format!("bias={bias}"),
+//!         vec![("bias".into(), format!("{bias}"))],
+//!         move |seed| TrialMetrics::new().with("value", bias + (seed % 3) as f64),
+//!     );
+//! }
+//! let report = grid.run(&RunOptions { trials: 4, threads: 2, seed: 42 });
+//! assert_eq!(report.cells.len(), 2);
+//! assert_eq!(report.cells[0].metric("value").unwrap().n, 4);
+//! // Thread count never changes the result:
+//! let serial = grid.run(&RunOptions { trials: 4, threads: 1, seed: 42 });
+//! assert_eq!(report.to_json(), serial.to_json());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dimmer_sim::SimRng;
+
+use crate::report::{Aggregate, CellReport, GridReport};
+use crate::scenarios::arg_value;
+
+/// The named metric samples produced by one trial.
+///
+/// Metrics keep insertion order; every trial of a cell must emit the same
+/// metric names (the engine asserts this while aggregating).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrialMetrics {
+    entries: Vec<(String, f64)>,
+}
+
+impl TrialMetrics {
+    /// Creates an empty metric set.
+    pub fn new() -> Self {
+        TrialMetrics::default()
+    }
+
+    /// Adds a metric sample (builder style).
+    pub fn with(mut self, name: &str, value: f64) -> Self {
+        self.push(name, value);
+        self
+    }
+
+    /// Adds a metric sample.
+    pub fn push(&mut self, name: &str, value: f64) {
+        self.entries.push((name.to_string(), value));
+    }
+
+    /// The `(name, value)` samples, in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+}
+
+/// One cell of a scenario grid: a parameter combination plus the closure
+/// that runs a single trial of it.
+pub struct GridCell {
+    /// Human-readable label (becomes the table row / JSON `label`).
+    pub label: String,
+    /// Structured parameters (become the JSON `params` object).
+    pub params: Vec<(String, String)>,
+    run: Box<dyn Fn(u64) -> TrialMetrics + Send + Sync>,
+}
+
+/// A named collection of [`GridCell`]s to sweep.
+pub struct ScenarioGrid {
+    name: String,
+    cells: Vec<GridCell>,
+}
+
+/// Execution options of a grid run, normally parsed from the command line
+/// via [`HarnessCli`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Trials per cell (each with its own derived seed).
+    pub trials: usize,
+    /// Worker threads; clamped to at least 1. Only affects wall-clock time.
+    pub threads: usize,
+    /// Base seed all per-trial seeds are derived from.
+    pub seed: u64,
+}
+
+impl ScenarioGrid {
+    /// Creates an empty grid.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioGrid {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// The grid's name (used as the JSON `grid` field).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the grid under a different name (used by presets that derive
+    /// their cells from another grid builder).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Adds a cell. `run` receives the trial's derived seed and returns the
+    /// trial's metrics; it must be deterministic in that seed.
+    pub fn push_cell(
+        &mut self,
+        label: impl Into<String>,
+        params: Vec<(String, String)>,
+        run: impl Fn(u64) -> TrialMetrics + Send + Sync + 'static,
+    ) {
+        self.cells.push(GridCell {
+            label: label.into(),
+            params,
+            run: Box::new(run),
+        });
+    }
+
+    /// Runs `trials` trials of every cell across `threads` workers and
+    /// aggregates the metrics.
+    ///
+    /// Jobs are distributed dynamically (an atomic cursor over the flat
+    /// `cells × trials` job list), so long and short cells share the
+    /// workers efficiently; each result lands in its pre-assigned slot,
+    /// keeping aggregation order — and therefore the report — independent
+    /// of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.trials == 0`, if a trial closure panics, or if the
+    /// trials of one cell disagree on their metric names.
+    pub fn run(&self, opts: &RunOptions) -> GridReport {
+        assert!(opts.trials > 0, "need at least one trial per cell");
+        let trials = opts.trials;
+        let jobs: Vec<(usize, usize, u64)> = (0..self.cells.len())
+            .flat_map(|cell| {
+                (0..trials).map(move |trial| {
+                    let seed = SimRng::derive_seed(opts.seed, &[cell as u64, trial as u64]);
+                    (cell, trial, seed)
+                })
+            })
+            .collect();
+
+        let mut slots: Vec<Option<TrialMetrics>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        let results = Mutex::new(slots);
+        let cursor = AtomicUsize::new(0);
+        let workers = opts.threads.max(1).min(jobs.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(cell, _trial, seed)) = jobs.get(i) else {
+                        break;
+                    };
+                    let metrics = (self.cells[cell].run)(seed);
+                    results.lock().expect("result store poisoned")[i] = Some(metrics);
+                });
+            }
+        });
+
+        let results = results.into_inner().expect("result store poisoned");
+        let cells = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(ci, cell)| {
+                let per_trial: Vec<&TrialMetrics> = (0..trials)
+                    .map(|t| {
+                        results[ci * trials + t]
+                            .as_ref()
+                            .expect("every job slot is filled after the scope joins")
+                    })
+                    .collect();
+                aggregate_cell(cell, &per_trial)
+            })
+            .collect();
+
+        GridReport {
+            grid: self.name.clone(),
+            seed: opts.seed,
+            trials,
+            cells,
+        }
+    }
+}
+
+/// Folds the per-trial metric samples of one cell into a [`CellReport`].
+fn aggregate_cell(cell: &GridCell, per_trial: &[&TrialMetrics]) -> CellReport {
+    for t in per_trial {
+        assert_eq!(
+            t.entries().len(),
+            per_trial[0].entries().len(),
+            "cell '{}': trials must emit identical metric sets",
+            cell.label
+        );
+    }
+    let names: Vec<&str> = per_trial[0]
+        .entries()
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let metrics = names
+        .iter()
+        .enumerate()
+        .map(|(mi, name)| {
+            let samples: Vec<f64> = per_trial
+                .iter()
+                .map(|t| {
+                    let (n, v) = &t.entries()[mi];
+                    assert_eq!(
+                        n, name,
+                        "cell '{}': trials must emit identical metric names",
+                        cell.label
+                    );
+                    *v
+                })
+                .collect();
+            (name.to_string(), Aggregate::from_samples(&samples))
+        })
+        .collect();
+    CellReport {
+        label: cell.label.clone(),
+        params: cell.params.clone(),
+        trials: per_trial.len(),
+        metrics,
+    }
+}
+
+/// The command-line options shared by every experiment binary.
+///
+/// All `exp_*` binaries accept `--trials N`, `--threads N`, `--seed S`,
+/// `--json PATH` and `--quick` in addition to their binary-specific flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessCli {
+    /// Trials per cell (`--trials`); `None` if the flag was absent so the
+    /// binary can pick its legacy default.
+    pub trials: Option<usize>,
+    /// Worker threads (`--threads`); defaults to the host's available
+    /// parallelism.
+    pub threads: usize,
+    /// Base seed (`--seed`).
+    pub seed: u64,
+    /// Optional JSON report path (`--json`).
+    pub json: Option<std::path::PathBuf>,
+    /// Whether `--quick` was passed (roughly 10x shorter runs).
+    pub quick: bool,
+}
+
+impl HarnessCli {
+    /// Parses the shared flags from `std::env::args`, using `default_seed`
+    /// when `--seed` is absent.
+    ///
+    /// Exits the process with status 2 on malformed numeric flags, matching
+    /// the binaries' existing error style.
+    pub fn parse(default_seed: u64) -> HarnessCli {
+        let parse_num = |flag: &str| -> Option<u64> {
+            arg_value(flag).map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: {flag} expects a non-negative integer, got '{v}'");
+                    std::process::exit(2);
+                })
+            })
+        };
+        let trials = parse_num("--trials").map(|t| {
+            if t == 0 {
+                eprintln!("error: --trials must be at least 1");
+                std::process::exit(2);
+            }
+            t as usize
+        });
+        let threads = parse_num("--threads")
+            .map(|t| (t as usize).max(1))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        HarnessCli {
+            trials,
+            threads,
+            seed: parse_num("--seed").unwrap_or(default_seed),
+            json: arg_value("--json").map(std::path::PathBuf::from),
+            quick: crate::scenarios::quick_flag(),
+        }
+    }
+
+    /// Builds [`RunOptions`] from the parsed flags, substituting
+    /// `default_trials` when `--trials` was absent.
+    pub fn run_options(&self, default_trials: usize) -> RunOptions {
+        RunOptions {
+            trials: self.trials.unwrap_or(default_trials.max(1)),
+            threads: self.threads,
+            seed: self.seed,
+        }
+    }
+
+    /// Writes `report` to the `--json` path if one was given, printing the
+    /// destination; exits with status 1 on I/O errors.
+    pub fn emit_json(&self, report: &GridReport) {
+        if let Some(path) = &self.json {
+            if let Err(e) = report.write_json(path) {
+                eprintln!("error: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("json report written to {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_grid() -> ScenarioGrid {
+        let mut grid = ScenarioGrid::new("demo");
+        for cell in 0..3u64 {
+            grid.push_cell(
+                format!("cell{cell}"),
+                vec![("cell".into(), cell.to_string())],
+                move |seed| {
+                    // Deterministic in the seed, distinct per cell.
+                    let mut rng = SimRng::seed_from(seed);
+                    TrialMetrics::new()
+                        .with("value", rng.gen_probability() + cell as f64)
+                        .with("constant", 1.5)
+                },
+            );
+        }
+        grid
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let grid = demo_grid();
+        let base = grid.run(&RunOptions {
+            trials: 5,
+            threads: 1,
+            seed: 42,
+        });
+        for threads in [2, 4, 8] {
+            let parallel = grid.run(&RunOptions {
+                trials: 5,
+                threads,
+                seed: 42,
+            });
+            assert_eq!(base, parallel, "threads={threads} must be bit-identical");
+            assert_eq!(base.to_json(), parallel.to_json());
+        }
+    }
+
+    #[test]
+    fn seeds_vary_per_cell_and_trial() {
+        let grid = demo_grid();
+        let report = grid.run(&RunOptions {
+            trials: 4,
+            threads: 2,
+            seed: 7,
+        });
+        // Different trials of the same cell see different seeds, so the
+        // stochastic metric has spread while the constant one does not.
+        for cell in &report.cells {
+            assert!(cell.metric("value").unwrap().stddev > 0.0);
+            assert_eq!(cell.metric("constant").unwrap().stddev, 0.0);
+        }
+        // Different base seeds give different results.
+        let other = grid.run(&RunOptions {
+            trials: 4,
+            threads: 2,
+            seed: 8,
+        });
+        assert_ne!(report, other);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let mut grid = ScenarioGrid::new("tiny");
+        grid.push_cell("only", vec![], |seed| {
+            TrialMetrics::new().with("seed", seed as f64)
+        });
+        let report = grid.run(&RunOptions {
+            trials: 1,
+            threads: 64,
+            seed: 0,
+        });
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].trials, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_is_rejected() {
+        demo_grid().run(&RunOptions {
+            trials: 0,
+            threads: 1,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn grid_len_and_name() {
+        let grid = demo_grid();
+        assert_eq!(grid.name(), "demo");
+        assert_eq!(grid.len(), 3);
+        assert!(!grid.is_empty());
+        assert!(ScenarioGrid::new("empty").is_empty());
+    }
+}

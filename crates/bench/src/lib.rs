@@ -1,28 +1,48 @@
-//! # dimmer-bench — the experiment harness
+//! # dimmer-bench — the experiment engine
 //!
-//! One binary per table/figure of the paper's evaluation (see the crate map
-//! and run instructions in the repository-root `README.md`):
+//! One binary per table/figure of the paper's evaluation, plus a sweep
+//! driver for scenario grids that have no figure counterpart (see the crate
+//! map and the reproduction guide in the repository-root `README.md` and
+//! `ARCHITECTURE.md`):
 //!
-//! | Binary        | Reproduces                                            |
-//! |---------------|--------------------------------------------------------|
-//! | `exp_table1`  | Table I + the embedded-DQN footprint numbers (§IV-B)   |
+//! | Binary        | Reproduces                                              |
+//! |---------------|---------------------------------------------------------|
+//! | `exp_table1`  | Table I + the embedded-DQN footprint numbers (§IV-B)    |
 //! | `exp_fig4b`   | Fig. 4b — input-feature selection (K and history sweep) |
 //! | `exp_fig4c`   | Fig. 4c/4d — adaptivity against dynamic interference    |
 //! | `exp_fig5`    | Fig. 5a/5b — reliability & radio-on vs interference     |
 //! | `exp_fig6`    | Fig. 6 — forwarder selection with multi-armed bandits   |
 //! | `exp_fig7`    | Fig. 7 — 48-node D-Cube comparison vs LWB and Crystal   |
+//! | `exp_sweep`   | Grid presets beyond the paper (seed & topology sweeps)  |
 //!
-//! The library part of the crate hosts the scenario builders
-//! ([`scenarios`]), the testable experiment cores ([`experiments`]) shared
-//! by the binaries and the smoke tests, and the Criterion micro-benchmarks
-//! in `benches/micro.rs`.
+//! Every binary accepts `--trials N --threads N --seed S --json PATH` in
+//! addition to `--quick`: trials of each scenario cell are fanned out
+//! across worker threads by the [`harness`] module, per-trial seeds are
+//! derived deterministically (reports are bit-identical regardless of
+//! `--threads`), and [`report`] aggregates mean / stddev / 95 % CI per
+//! metric with optional machine-readable JSON output.
+//!
+//! The library layers, bottom up:
+//!
+//! * [`scenarios`] — interference/topology scenario builders and tiny CLI
+//!   helpers shared by the binaries,
+//! * [`experiments`] — the testable per-figure experiment cores and their
+//!   [`ScenarioGrid`] builders,
+//! * [`harness`] — the parallel multi-trial engine,
+//! * [`report`] — statistics aggregation, table printing and JSON,
+//!
+//! plus the Criterion micro-benchmarks in `benches/micro.rs`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod report;
 pub mod scenarios;
 
+pub use harness::{HarnessCli, RunOptions, ScenarioGrid, TrialMetrics};
+pub use report::{Aggregate, CellReport, GridReport};
 pub use scenarios::{
     dimmer_policy, dynamic_interference_scenario, kiel_jamming, summarize, ProtocolSummary,
 };

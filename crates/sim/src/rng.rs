@@ -49,6 +49,54 @@ impl SimRng {
         SimRng::seed_from(s)
     }
 
+    /// Derives a child seed from a root seed and a stream identifier
+    /// *without* consuming any generator state.
+    ///
+    /// This is the stateless counterpart of [`SimRng::fork`]: because the
+    /// result depends only on `(root, stream)`, callers can hand out
+    /// decorrelated sub-seeds from concurrent workers in any order — e.g.
+    /// one seed per experiment trial — and still obtain bit-identical
+    /// sequences regardless of scheduling. The mixing is the SplitMix64
+    /// finalizer, so nearby streams (`0, 1, 2, ...`) map to well-spread
+    /// seeds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dimmer_sim::SimRng;
+    /// // Same (root, stream) always gives the same seed...
+    /// assert_eq!(SimRng::split_seed(42, 3), SimRng::split_seed(42, 3));
+    /// // ...and different streams give decorrelated seeds.
+    /// assert_ne!(SimRng::split_seed(42, 3), SimRng::split_seed(42, 4));
+    /// ```
+    pub fn split_seed(root: u64, stream: u64) -> u64 {
+        let mut z = root
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derives a child seed along a path of stream identifiers, applying
+    /// [`SimRng::split_seed`] once per path element.
+    ///
+    /// Useful for nested fan-out such as *grid cell → trial*:
+    /// `derive_seed(base, &[cell, trial])` is deterministic and independent
+    /// of which worker thread evaluates the trial.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dimmer_sim::SimRng;
+    /// let a = SimRng::derive_seed(7, &[2, 5]);
+    /// let b = SimRng::split_seed(SimRng::split_seed(7, 2), 5);
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn derive_seed(root: u64, path: &[u64]) -> u64 {
+        path.iter().fold(root, |acc, &s| SimRng::split_seed(acc, s))
+    }
+
     /// Returns a uniformly distributed probability in `[0, 1)`.
     pub fn gen_probability(&mut self) -> f64 {
         self.inner.gen::<f64>()
@@ -180,6 +228,37 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(c1.next_u64(), c2.next_u64());
         }
+    }
+
+    #[test]
+    fn split_seed_is_stateless_and_order_independent() {
+        // Evaluating streams in any order gives the same seeds.
+        let forward: Vec<u64> = (0..8).map(|s| SimRng::split_seed(99, s)).collect();
+        let backward: Vec<u64> = (0..8).rev().map(|s| SimRng::split_seed(99, s)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "split_seed must not depend on evaluation order"
+        );
+        // Nearby streams are well spread.
+        let mut sorted = forward.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "adjacent streams must not collide");
+    }
+
+    #[test]
+    fn derive_seed_composes_split_seed() {
+        assert_eq!(SimRng::derive_seed(5, &[]), 5);
+        assert_eq!(
+            SimRng::derive_seed(5, &[1, 2, 3]),
+            SimRng::split_seed(SimRng::split_seed(SimRng::split_seed(5, 1), 2), 3)
+        );
+        // Paths are not commutative: (cell, trial) != (trial, cell).
+        assert_ne!(
+            SimRng::derive_seed(5, &[1, 2]),
+            SimRng::derive_seed(5, &[2, 1])
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! behavior rot.
 
 use dimmer_bench::experiments::{
-    fig4b_row, fig4c_dimmer, fig4c_pid, fig5_cell, fig6_run, fig7_cell, table1_summary,
-    Fig7Scenario,
+    fig4b_row, fig4c_dimmer, fig4c_pid, fig5_cell, fig5_run, fig6_run, fig6_single, fig7_cell,
+    fig7_run, table1_summary, Fig7Protocol, Fig7Scenario, Protocol,
 };
 use dimmer_core::{AdaptivityPolicy, DimmerConfig};
 use dimmer_sim::Topology;
@@ -87,6 +87,42 @@ fn exp_fig6_run_tracks_forwarders() {
             "reference run keeps everyone forwarding"
         );
     }
+}
+
+#[test]
+fn fig5_run_matches_the_cell_builder() {
+    // fig5_cell is defined as the three per-protocol runs with one seed.
+    let policy = AdaptivityPolicy::rule_based();
+    let cell = fig5_cell(0.25, policy.clone(), 6, 11);
+    assert_eq!(fig5_run(Protocol::Lwb, 0.25, &policy, 6, 11), cell.lwb);
+    assert_eq!(
+        fig5_run(Protocol::Dimmer, 0.25, &policy, 6, 11),
+        cell.dimmer
+    );
+    assert_eq!(fig5_run(Protocol::Pid, 0.25, &policy, 6, 11), cell.pid);
+}
+
+#[test]
+fn fig6_single_variants_match_the_combined_run() {
+    let combined = fig6_run(12, 3);
+    assert_eq!(fig6_single(12, 3, true), combined.with_fs);
+    assert_eq!(fig6_single(12, 3, false), combined.without_fs);
+}
+
+#[test]
+fn fig7_run_matches_the_cell_builder() {
+    let policy = AdaptivityPolicy::rule_based();
+    let cell = fig7_cell(Fig7Scenario::WifiLevel1, policy.clone(), 5, 300);
+    assert_eq!(
+        fig7_run(
+            Fig7Protocol::Crystal,
+            Fig7Scenario::WifiLevel1,
+            &policy,
+            5,
+            300
+        ),
+        cell.crystal
+    );
 }
 
 #[test]
