@@ -17,6 +17,7 @@
 //! senders) and omits firmware-level details (exact slot lengths, noise
 //! floor estimation), which only shift absolute numbers.
 
+use dimmer_core::{ControlDecision, Controller, EpochDriver, EpochOutcome, RoundObservation};
 use dimmer_glossy::{FloodSimulator, GlossyConfig, NtxAssignment};
 use dimmer_lwb::HoppingSequence;
 use dimmer_sim::{
@@ -129,6 +130,11 @@ impl<'a> CrystalRunner<'a> {
             total_delivered: 0,
             epochs: 0,
         }
+    }
+
+    /// The Crystal configuration driving the epochs.
+    pub fn config(&self) -> &CrystalConfig {
+        &self.config
     }
 
     /// Cumulative delivery ratio over all epochs run so far.
@@ -303,6 +309,44 @@ impl<'a> CrystalRunner<'a> {
             energy_joules: energy,
             mean_radio_on: SimDuration::from_micros(mean_on_us),
         }
+    }
+}
+
+/// Adapts the Crystal epoch loop to the generic
+/// [`RoundEngine`](dimmer_core::RoundEngine): each engine round runs one
+/// Crystal epoch with the round's traffic as the offered sources.
+impl EpochDriver for CrystalRunner<'_> {
+    fn run_epoch(&mut self, sources: &[NodeId], period: SimDuration) -> EpochOutcome {
+        let report = CrystalRunner::run_epoch(self, sources, period);
+        EpochOutcome {
+            offered: report.offered.len(),
+            delivered: report.delivered.len(),
+            mean_radio_on: report.mean_radio_on,
+            energy_joules: report.energy_joules,
+        }
+    }
+
+    fn ntx(&self) -> u8 {
+        self.config().flood_ntx
+    }
+}
+
+/// The no-op [`Controller`] of the Crystal adapter.
+///
+/// Crystal has no global `N_TX` to steer between rounds — its adaptation
+/// (retransmit-until-ACK, noise detection, per-pair channel hopping) lives
+/// *inside* each epoch — so the controller only contributes the protocol's
+/// registry name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrystalControl;
+
+impl Controller for CrystalControl {
+    fn name(&self) -> &str {
+        "crystal"
+    }
+
+    fn observe(&mut self, _obs: &RoundObservation<'_>) -> ControlDecision {
+        ControlDecision::Hold
     }
 }
 

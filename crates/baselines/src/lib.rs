@@ -15,17 +15,32 @@
 //!   ([`CrystalConfig`], [`CrystalRunner`]); hand-tuned, near-perfect
 //!   reliability at a high energy cost.
 //!
-//! The static-LWB and PID baselines reuse the [`dimmer_core::DimmerRunner`]
-//! machinery with the learned adaptivity disabled, so the three systems are
-//! compared on exactly the same substrate.
+//! All baselines plug into the generic
+//! [`RoundEngine`](dimmer_core::RoundEngine) as
+//! [`Controller`](dimmer_core::Controller)s (the PI(D) controller and the
+//! fixed-`N_TX` rule) or through the engine's epoch adapter (Crystal), so
+//! the four systems are compared on exactly the same substrate with
+//! identical accounting. The [`registry`] module exposes them — and Dimmer
+//! itself — behind a fluent [`SimulationBuilder`] and a string-keyed
+//! [`ProtocolRegistry`] (`"dimmer-dqn"`, `"dimmer-rule"`, `"pid"`,
+//! `"static"`, `"crystal"`), which is what the experiment binaries'
+//! `--protocols` flags resolve against.
+//!
+//! The legacy [`PidRunner`] and [`StaticLwbRunner`] types are kept as thin
+//! shims over the engine machinery; the engine-equivalence test suite pins
+//! their report streams to the registry-built engines byte-for-byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crystal;
 pub mod pid;
+pub mod registry;
 pub mod static_lwb;
 
-pub use crystal::{CrystalConfig, CrystalEpochReport, CrystalRunner};
+pub use crystal::{CrystalConfig, CrystalControl, CrystalEpochReport, CrystalRunner};
 pub use pid::{PidController, PidRunner};
+pub use registry::{
+    ProtocolBuildFn, ProtocolEntry, ProtocolRegistry, SimulationBuilder, UnknownProtocolError,
+};
 pub use static_lwb::StaticLwbRunner;

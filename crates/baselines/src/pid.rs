@@ -9,7 +9,10 @@
 //! integral term, is slow to come back down — and it cannot distinguish
 //! interference *levels*.
 
-use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRoundReport, DimmerRunner};
+use dimmer_core::{
+    AdaptivityPolicy, ControlDecision, Controller, DimmerConfig, DimmerRoundReport, DimmerRunner,
+    RoundObservation,
+};
 use dimmer_lwb::{LwbConfig, TrafficPattern};
 use dimmer_sim::{InterferenceModel, Topology};
 
@@ -114,9 +117,34 @@ impl Default for PidController {
     }
 }
 
+/// The PI(D) baseline as a [`Controller`]: it feeds the observed round
+/// reliability into [`PidController::update`] and pins the next round's
+/// `N_TX` to the controller output — exactly the feedback loop the legacy
+/// [`PidRunner`] ran externally around the Dimmer runner.
+impl Controller for PidController {
+    fn name(&self) -> &str {
+        "pid"
+    }
+
+    fn observe(&mut self, obs: &RoundObservation<'_>) -> ControlDecision {
+        ControlDecision::SetNtx(self.update(obs.reliability))
+    }
+
+    fn reset(&mut self) {
+        PidController::reset(self);
+    }
+}
+
 /// Drives the LWB stack with the PI controller choosing `N_TX` each round —
 /// the "traditional adaptivity" system compared against Dimmer in
 /// Figs. 4d and 5.
+///
+/// This is the legacy shim kept for the engine-equivalence suite: it runs
+/// the PID feedback loop *externally* (`run_round` → `update` → `force_ntx`)
+/// around a [`DimmerRunner`] with the adaptivity disabled. New code should
+/// plug the [`PidController`] straight into a
+/// [`RoundEngine`](dimmer_core::RoundEngine) via the protocol registry
+/// (`"pid"`), which reproduces this shim's report stream byte-for-byte.
 #[derive(Debug)]
 pub struct PidRunner<'a> {
     runner: DimmerRunner<'a>,

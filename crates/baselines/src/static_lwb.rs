@@ -10,6 +10,14 @@ use dimmer_sim::{InterferenceModel, Topology};
 /// Plain LWB with a static retransmission parameter (the paper uses
 /// `N_TX = 3`) and no adaptation whatsoever.
 ///
+/// This is the legacy shim kept for the engine-equivalence suite: it pins
+/// `N_TX` *externally* (`force_ntx` before every round) around a
+/// [`DimmerRunner`] with the adaptivity disabled. New code should use the
+/// protocol registry's `"static"` entry (a
+/// [`RoundEngine`](dimmer_core::RoundEngine) driven by
+/// [`StaticNtxController`](dimmer_core::StaticNtxController)), which
+/// reproduces this shim's report stream byte-for-byte.
+///
 /// # Examples
 ///
 /// ```

@@ -12,9 +12,12 @@
 //!
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_fig4b -- \
-//!     [--part nodes|history] [--quick] \
+//!     [--part nodes|history] [--protocols dimmer-dqn] [--quick] \
 //!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
+//!
+//! The sweep trains Dimmer's DQN, so `--protocols` accepts only
+//! `dimmer-dqn` (interface parity with the comparison binaries).
 
 use std::sync::Arc;
 
@@ -26,6 +29,7 @@ use dimmer_traces::TraceCollector;
 
 fn main() {
     let cli = HarnessCli::parse(1000);
+    let _protocols = cli.select_protocols(&["dimmer-dqn"]);
     let part = arg_value("--part").unwrap_or_else(|| "both".to_string());
     if !["nodes", "history", "both"].contains(&part.as_str()) {
         eprintln!("error: unknown --part '{part}' (expected nodes, history or both)");

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_fig4c -- \
-//!     [--protocol pid|dimmer] [--quick] \
+//!     [--protocols dimmer-dqn,pid] [--quick] \
 //!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
 //!
@@ -17,9 +17,13 @@
 
 use dimmer_bench::experiments::{fig4c_dimmer, fig4c_grid, fig4c_pid, CachedRun};
 use dimmer_bench::harness::HarnessCli;
-use dimmer_bench::scenarios::{arg_value, dimmer_policy};
+use dimmer_bench::scenarios::dimmer_policy;
+use dimmer_bench::summary::{bucketize, summarize};
 use dimmer_core::DimmerRoundReport;
 use dimmer_sim::SimRng;
+
+/// The protocols with a defined Fig. 4c dynamic timeline.
+const SUPPORTED: [&str; 2] = ["dimmer-dqn", "pid"];
 
 fn print_timeline(label: &str, reports: &[DimmerRoundReport]) {
     println!("\n== {label}: per-minute timeline ==");
@@ -27,35 +31,25 @@ fn print_timeline(label: &str, reports: &[DimmerRoundReport]) {
         "{:>6} {:>12} {:>10} {:>14}",
         "minute", "reliability", "mean NTX", "radio-on [ms]"
     );
-    for (minute, chunk) in reports.chunks(15).enumerate() {
-        let n = chunk.len() as f64;
-        let rel = chunk.iter().map(|r| r.reliability).sum::<f64>() / n;
-        let ntx = chunk.iter().map(|r| r.ntx as f64).sum::<f64>() / n;
-        let on = chunk
-            .iter()
-            .map(|r| r.mean_radio_on.as_millis_f64())
-            .sum::<f64>()
-            / n;
-        println!("{minute:>6} {rel:>12.4} {ntx:>10.2} {on:>14.2}");
+    // 15 four-second rounds per simulated minute.
+    for (minute, bucket) in bucketize(reports, 15).iter().enumerate() {
+        println!(
+            "{minute:>6} {:>12.4} {:>10.2} {:>14.2}",
+            bucket.reliability, bucket.mean_ntx, bucket.radio_on_ms
+        );
     }
-    let n = reports.len() as f64;
-    let rel = reports.iter().map(|r| r.reliability).sum::<f64>() / n;
-    let on = reports
-        .iter()
-        .map(|r| r.mean_radio_on.as_millis_f64())
-        .sum::<f64>()
-        / n;
+    let overall = summarize(reports);
     println!("overall: reliability {:.1}%, radio-on {:.1} ms (paper: Dimmer 99.3% / 12.3 ms, PID 99.3% / 14.4 ms)",
-             rel * 100.0, on);
+             overall.reliability * 100.0, overall.radio_on_ms);
 }
 
 fn main() {
     let cli = HarnessCli::parse(7);
-    let protocol = arg_value("--protocol").unwrap_or_else(|| "both".to_string());
-    if !["dimmer", "pid", "both"].contains(&protocol.as_str()) {
-        eprintln!("error: unknown --protocol '{protocol}' (expected dimmer, pid or both)");
+    if dimmer_bench::scenarios::arg_value("--protocol").is_some() {
+        eprintln!("error: --protocol was replaced by --protocols (registry names, e.g. --protocols dimmer-dqn,pid)");
         std::process::exit(2);
     }
+    let protocols = cli.select_protocols(&SUPPORTED);
     let minutes: u64 = if cli.quick { 14 } else { 27 };
     let rounds = (minutes * 60 / 4) as usize;
     let opts = cli.run_options(1);
@@ -65,30 +59,35 @@ fn main() {
     let mut pid_cache = None;
     if opts.trials == 1 {
         // Single-trial timelines, using the same derived seeds as the
-        // harness cells (the dimmer cell precedes the pid cell when both
-        // are selected) so the timeline matches the JSON report; the runs
-        // are handed to the grid as a cache so nothing simulates twice.
-        if protocol != "pid" {
-            let seed = SimRng::derive_seed(opts.seed, &[0, 0]);
-            let reports = fig4c_dimmer(policy.clone(), rounds, seed);
-            print_timeline("Dimmer (Fig. 4c)", &reports);
-            dimmer_cache = Some(CachedRun::new(seed, reports));
-        }
-        if protocol != "dimmer" {
-            let pid_cell = if protocol == "pid" { 0 } else { 1 };
-            let seed = SimRng::derive_seed(opts.seed, &[pid_cell, 0]);
-            let reports = fig4c_pid(rounds, seed);
-            print_timeline("PID baseline (Fig. 4d)", &reports);
-            pid_cache = Some(CachedRun::new(seed, reports));
+        // harness cells (cell order = the selected protocol order) so the
+        // timeline matches the JSON report; the runs are handed to the grid
+        // as a cache so nothing simulates twice.
+        for (cell, protocol) in protocols.iter().enumerate() {
+            let seed = SimRng::derive_seed(opts.seed, &[cell as u64, 0]);
+            match protocol.as_str() {
+                "dimmer-dqn" => {
+                    let reports = fig4c_dimmer(policy.clone(), rounds, seed);
+                    print_timeline("Dimmer (Fig. 4c)", &reports);
+                    dimmer_cache = Some(CachedRun::new(seed, reports));
+                }
+                "pid" => {
+                    let reports = fig4c_pid(rounds, seed);
+                    print_timeline("PID baseline (Fig. 4d)", &reports);
+                    pid_cache = Some(CachedRun::new(seed, reports));
+                }
+                _ => unreachable!("select_protocols validated against SUPPORTED"),
+            }
         }
         println!();
     }
 
     println!(
-        "Fig. 4c/4d aggregates — {rounds} rounds x {} trials, {} worker threads",
-        opts.trials, opts.threads
+        "Fig. 4c/4d aggregates — {} x {rounds} rounds x {} trials, {} worker threads",
+        protocols.join("/"),
+        opts.trials,
+        opts.threads
     );
-    let report = fig4c_grid(policy, rounds, &protocol, dimmer_cache, pid_cache).run(&opts);
+    let report = fig4c_grid(policy, rounds, &protocols, dimmer_cache, pid_cache).run(&opts);
     report.print_table();
     cli.emit_json(&report);
 }

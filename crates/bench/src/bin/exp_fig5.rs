@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_fig5 -- \
-//!     [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+//!     [--protocols static,dimmer-dqn,pid] [--quick] \
+//!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
 //!
 //! Cells are `protocol x jamming level`; each cell is repeated `--trials`
 //! times with derived seeds and aggregated (mean ± 95 % CI).
 
-use dimmer_bench::experiments::fig5_grid;
+use dimmer_bench::experiments::{fig5_grid, TESTBED_PROTOCOLS};
 use dimmer_bench::harness::HarnessCli;
 use dimmer_bench::scenarios::dimmer_policy;
 
@@ -18,13 +19,16 @@ fn main() {
     let rounds = if cli.quick { 60 } else { 200 };
     let opts = cli.run_options(if cli.quick { 1 } else { 3 });
     let levels = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35];
+    let protocols = cli.select_protocols(&TESTBED_PROTOCOLS);
     let policy = dimmer_policy(cli.quick);
 
     println!(
-        "Fig. 5 — {rounds} rounds x {} trials per cell, {} worker threads",
-        opts.trials, opts.threads
+        "Fig. 5 — {} x {rounds} rounds x {} trials per cell, {} worker threads",
+        protocols.join("/"),
+        opts.trials,
+        opts.threads
     );
-    let report = fig5_grid(policy, rounds, &levels).run(&opts);
+    let report = fig5_grid(policy, rounds, &levels, &protocols).run(&opts);
     report.print_table();
 
     println!(

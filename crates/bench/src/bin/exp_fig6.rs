@@ -7,18 +7,26 @@
 //!
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_fig6 -- \
-//!     [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+//!     [--protocols dimmer-rule] [--quick] \
+//!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
 //!
-//! With the default `--trials 1`, the 30-minute-bucket timeline of the
-//! selection run is printed in addition to the aggregate table.
+//! The experiment is Dimmer-specific (`--protocols` exists for interface
+//! parity and accepts only `dimmer-rule`, the configuration the paper runs
+//! this figure with). With the default `--trials 1`, the 30-minute-bucket
+//! timeline of the selection run is printed in addition to the aggregate
+//! table.
 
 use dimmer_bench::experiments::{fig6_grid, fig6_single, CachedRun};
 use dimmer_bench::harness::HarnessCli;
+use dimmer_bench::summary::bucketize;
 use dimmer_sim::SimRng;
 
 fn main() {
     let cli = HarnessCli::parse(3);
+    // Interface parity: validate the selection even though the grid is
+    // protocol-fixed.
+    let _protocols = cli.select_protocols(&["dimmer-rule"]);
     // 5 hours of 4-second rounds = 4500 rounds in the paper's run.
     let rounds = if cli.quick { 900 } else { 4500 };
     let opts = cli.run_options(1);
@@ -42,21 +50,15 @@ fn main() {
             "{:>8} {:>12} {:>12} {:>14}",
             "minute", "forwarders", "reliability", "radio-on [ms]"
         );
-        let bucket = 450; // 30 simulated minutes per row
-        for (i, chunk) in with_fs.chunks(bucket).enumerate() {
-            let n = chunk.len() as f64;
-            let fwd = chunk
-                .iter()
-                .map(|r| r.active_forwarders as f64)
-                .sum::<f64>()
-                / n;
-            let rel = chunk.iter().map(|r| r.reliability).sum::<f64>() / n;
-            let on = chunk
-                .iter()
-                .map(|r| r.mean_radio_on.as_millis_f64())
-                .sum::<f64>()
-                / n;
-            println!("{:>8} {:>12.1} {:>12.4} {:>14.2}", i * 30, fwd, rel, on);
+        // 450 four-second rounds = 30 simulated minutes per row.
+        for (i, bucket) in bucketize(&with_fs, 450).iter().enumerate() {
+            println!(
+                "{:>8} {:>12.1} {:>12.4} {:>14.2}",
+                i * 30,
+                bucket.mean_forwarders,
+                bucket.reliability,
+                bucket.radio_on_ms
+            );
         }
         println!();
         selection_cache = Some(CachedRun::new(seed, with_fs));

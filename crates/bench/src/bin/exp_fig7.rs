@@ -9,13 +9,14 @@
 //!
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_fig7 -- \
-//!     [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+//!     [--protocols static,dimmer-dqn,crystal] [--quick] \
+//!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
 //!
 //! Cells are `protocol x interference scenario`; each cell is repeated
 //! `--trials` times with derived seeds and aggregated (mean ± 95 % CI).
 
-use dimmer_bench::experiments::fig7_grid;
+use dimmer_bench::experiments::{fig7_grid, DCUBE_PROTOCOLS};
 use dimmer_bench::harness::HarnessCli;
 use dimmer_bench::scenarios::dimmer_policy;
 
@@ -24,13 +25,16 @@ fn main() {
     // Paper: ten 10-minute experiments with 1-second rounds per cell.
     let rounds = if cli.quick { 200 } else { 600 };
     let opts = cli.run_options(if cli.quick { 1 } else { 3 });
+    let protocols = cli.select_protocols(&DCUBE_PROTOCOLS);
     let policy = dimmer_policy(cli.quick);
 
     println!(
-        "Fig. 7 — 48-node D-Cube stand-in, {rounds} rounds x {} trials per cell (5 sources -> sink), {} worker threads",
-        opts.trials, opts.threads
+        "Fig. 7 — 48-node D-Cube stand-in, {} x {rounds} rounds x {} trials per cell (5 sources -> sink), {} worker threads",
+        protocols.join("/"),
+        opts.trials,
+        opts.threads
     );
-    let report = fig7_grid(policy, rounds).run(&opts);
+    let report = fig7_grid(policy, rounds, &protocols).run(&opts);
     report.print_table();
 
     println!(

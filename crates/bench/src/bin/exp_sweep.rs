@@ -3,19 +3,24 @@
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_sweep -- \
 //!     --preset fig5-seeds|topology-size \
-//!     [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+//!     [--protocols a,b,c] [--quick] \
+//!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
 //!
 //! Presets:
 //!
 //! * `fig5-seeds` — the Fig. 5 jamming comparison at 10 % and 25 % duty
-//!   cycle, defaulting to 16 trials per cell to estimate the reliability
-//!   *distribution* rather than a point sample.
-//! * `topology-size` — Dimmer vs static LWB on square grid topologies
-//!   (3x3 .. 6x6) with a jammer at the grid centre: a scalability sweep
-//!   that was impractical before the parallel engine.
+//!   cycle (protocols default to `static,dimmer-dqn,pid`), defaulting to
+//!   16 trials per cell to estimate the reliability *distribution* rather
+//!   than a point sample.
+//! * `topology-size` — the selected protocols (default
+//!   `static,dimmer-rule`) on square grid topologies (3x3 .. 6x6) with a
+//!   jammer at the grid centre: a scalability sweep that was impractical
+//!   before the parallel engine.
 
-use dimmer_bench::experiments::{fig5_seed_sweep_grid, topology_size_grid};
+use dimmer_bench::experiments::{
+    fig5_seed_sweep_grid, protocol_list, topology_size_grid, TESTBED_PROTOCOLS,
+};
 use dimmer_bench::harness::HarnessCli;
 use dimmer_bench::scenarios::{arg_value, dimmer_policy};
 
@@ -25,8 +30,21 @@ fn main() {
     let rounds = if cli.quick { 40 } else { 120 };
 
     let (grid, default_trials) = match preset.as_str() {
-        "fig5-seeds" => (fig5_seed_sweep_grid(dimmer_policy(cli.quick), rounds), 16),
-        "topology-size" => (topology_size_grid(rounds, &[3, 4, 5, 6]), 8),
+        "fig5-seeds" => {
+            let protocols = cli.select_protocols(&TESTBED_PROTOCOLS);
+            (
+                fig5_seed_sweep_grid(dimmer_policy(cli.quick), rounds, &protocols),
+                16,
+            )
+        }
+        "topology-size" => {
+            const SUPPORTED: [&str; 3] = ["static", "dimmer-rule", "pid"];
+            let protocols = match cli.protocols {
+                Some(_) => cli.select_protocols(&SUPPORTED),
+                None => protocol_list(&["static", "dimmer-rule"]),
+            };
+            (topology_size_grid(rounds, &[3, 4, 5, 6], &protocols), 8)
+        }
         other => {
             eprintln!("error: unknown --preset '{other}' (expected fig5-seeds or topology-size)");
             std::process::exit(2);

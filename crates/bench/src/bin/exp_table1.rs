@@ -3,11 +3,13 @@
 //!
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_table1 -- \
-//!     [--trials N] [--threads N] [--seed S] [--json PATH]
+//!     [--protocols dimmer-dqn] [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
 //!
 //! The footprint is deterministic, so trials only exist for interface
-//! parity with the other binaries (the JSON report shows stddev 0).
+//! parity with the other binaries (the JSON report shows stddev 0); the
+//! table describes Dimmer's DQN, so `--protocols` accepts only
+//! `dimmer-dqn`.
 
 use dimmer_bench::experiments::{table1_grid, table1_summary};
 use dimmer_bench::harness::HarnessCli;
@@ -15,6 +17,7 @@ use dimmer_core::DimmerConfig;
 
 fn main() {
     let cli = HarnessCli::parse(1);
+    let _protocols = cli.select_protocols(&["dimmer-dqn"]);
     let cfg = DimmerConfig::default();
     let summary = table1_summary(&cfg);
 

@@ -2,16 +2,21 @@
 //! builders.
 //!
 //! The experiment stack has three layers. At the bottom sit the
-//! **single-trial builders** (`table1_summary`, `fig5_run`, `fig7_cell`,
-//! ...): plain functions taking explicit sizes, a seed and an
-//! [`AdaptivityPolicy`], so the smoke tests in `tests/tests/exp_smoke.rs`
-//! can exercise every scenario with a handful of rounds and a rule-based
-//! policy without paying for DQN training. On top of those, the
-//! **grid builders** (`fig5_grid`, `topology_size_grid`, ...) describe each
-//! experiment as a [`ScenarioGrid`] — one cell per parameter combination,
-//! each cell running one single-trial builder from a derived seed. The
-//! binaries are then thin shells that parse
-//! `--trials/--threads/--seed/--json` via
+//! **single-trial builders** (`table1_summary`, `fig5_run`, `fig7_run`,
+//! ...): plain functions taking explicit sizes, a seed, an
+//! [`AdaptivityPolicy`] and — where protocols are compared — a **registry
+//! protocol name** (`"dimmer-dqn"`, `"pid"`, `"static"`, `"crystal"`, see
+//! [`dimmer_baselines::ProtocolRegistry`]), so the smoke tests in
+//! `tests/tests/exp_smoke.rs` can exercise every scenario with a handful of
+//! rounds and a rule-based policy without paying for DQN training. Every
+//! protocol runs through the same generic
+//! [`RoundEngine`](dimmer_core::RoundEngine), constructed by a
+//! [`SimulationBuilder`]; there are no per-figure protocol enums. On top of
+//! those, the **grid builders** (`fig5_grid`, `topology_size_grid`, ...)
+//! describe each experiment as a [`ScenarioGrid`] — one cell per
+//! (protocol × parameter) combination, each cell running one single-trial
+//! builder from a derived seed. The binaries are then thin shells that
+//! parse `--protocols/--trials/--threads/--seed/--json` via
 //! [`HarnessCli`](crate::harness::HarnessCli), hand the grid to the
 //! parallel engine in [`crate::harness`], and print/serialize the
 //! aggregated [`GridReport`](crate::report::GridReport).
@@ -19,8 +24,9 @@
 use std::sync::Arc;
 
 use crate::harness::{ScenarioGrid, TrialMetrics};
-use crate::scenarios::{dynamic_interference_scenario, kiel_jamming, summarize, ProtocolSummary};
-use dimmer_baselines::{CrystalConfig, CrystalRunner, PidController, PidRunner, StaticLwbRunner};
+use crate::scenarios::{dynamic_interference_scenario, kiel_jamming};
+use crate::summary::{mean_forwarders, summarize, summary_metrics, ProtocolSummary};
+use dimmer_baselines::SimulationBuilder;
 use dimmer_core::{
     AdaptivityPolicy, DimmerConfig, DimmerRoundReport, DimmerRunner, GlobalView, StateBuilder,
 };
@@ -28,10 +34,18 @@ use dimmer_lwb::{LwbConfig, TrafficPattern};
 use dimmer_neural::{Mlp, QuantizedNetwork};
 use dimmer_rl::DqnConfig;
 use dimmer_sim::{
-    CompositeInterference, InterferenceModel, NoInterference, NodeId, PeriodicJammer, SimDuration,
-    SimRng, Topology, WifiInterference, WifiLevel,
+    CompositeInterference, InterferenceModel, NoInterference, NodeId, PeriodicJammer, SimRng,
+    Topology, WifiInterference, WifiLevel,
 };
 use dimmer_traces::{train_policy, TraceDataset};
+
+/// The registry protocols of the 18-node testbed comparison (Figs. 4c/5),
+/// in presentation order.
+pub const TESTBED_PROTOCOLS: [&str; 3] = ["static", "dimmer-dqn", "pid"];
+
+/// The registry protocols of the Fig. 7 D-Cube comparison, in presentation
+/// order.
+pub const DCUBE_PROTOCOLS: [&str; 3] = ["static", "dimmer-dqn", "crystal"];
 
 /// Table I + §IV-B footprint numbers (`exp_table1`).
 #[derive(Debug, Clone, PartialEq)]
@@ -128,72 +142,50 @@ pub fn fig4b_row(
 pub fn fig4c_dimmer(policy: AdaptivityPolicy, rounds: usize, seed: u64) -> Vec<DimmerRoundReport> {
     let topo = Topology::kiel_testbed_18(1);
     let interference = dynamic_interference_scenario(rounds as u64 * 4);
-    let mut runner = DimmerRunner::new(
-        &topo,
-        &interference,
-        LwbConfig::testbed_default(),
-        DimmerConfig::default(),
-        policy,
-        seed,
-    );
-    runner.run_rounds(rounds)
+    let mut sim = SimulationBuilder::new(&topo)
+        .interference(&interference)
+        .policy(policy)
+        .seed(seed)
+        .build_protocol("dimmer-dqn")
+        .expect("dimmer-dqn is registered");
+    sim.run_rounds(rounds)
 }
 
 /// Runs the PID baseline through the Fig. 4c dynamic-interference timeline.
 pub fn fig4c_pid(rounds: usize, seed: u64) -> Vec<DimmerRoundReport> {
     let topo = Topology::kiel_testbed_18(1);
     let interference = dynamic_interference_scenario(rounds as u64 * 4);
-    let mut runner = PidRunner::new(
-        &topo,
-        &interference,
-        LwbConfig::testbed_default(),
-        PidController::paper_pi(),
-        seed,
-    );
-    runner.run_rounds(rounds)
+    let mut sim = SimulationBuilder::new(&topo)
+        .interference(&interference)
+        .seed(seed)
+        .build_protocol("pid")
+        .expect("pid is registered");
+    sim.run_rounds(rounds)
 }
 
-/// One Fig. 5 cell: LWB / Dimmer / PID summaries at a static interference
-/// level.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Fig5Cell {
-    /// Static LWB at `N_TX = 3`.
-    pub lwb: ProtocolSummary,
-    /// Dimmer with the given adaptivity policy.
-    pub dimmer: ProtocolSummary,
-    /// The PID baseline.
-    pub pid: ProtocolSummary,
-}
-
-/// The three protocols compared throughout the testbed evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Protocol {
-    /// Static LWB at a fixed `N_TX = 3`.
-    Lwb,
-    /// Dimmer with a given adaptivity policy.
-    Dimmer,
-    /// The PID/PI controller baseline.
-    Pid,
-}
-
-impl Protocol {
-    /// The protocols in the presentation order of Fig. 5.
-    pub const ALL: [Protocol; 3] = [Protocol::Lwb, Protocol::Dimmer, Protocol::Pid];
-
-    /// Lower-case label used in cell names and JSON params.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Protocol::Lwb => "lwb",
-            Protocol::Dimmer => "dimmer",
-            Protocol::Pid => "pid",
-        }
-    }
+/// Runs one registry protocol on `topo` under `interference` with the
+/// testbed LWB configuration and summarizes the rounds.
+pub fn run_protocol(
+    protocol: &str,
+    topo: &Topology,
+    interference: &dyn InterferenceModel,
+    policy: &AdaptivityPolicy,
+    rounds: usize,
+    seed: u64,
+) -> ProtocolSummary {
+    let mut sim = SimulationBuilder::new(topo)
+        .interference(interference)
+        .policy(policy.clone())
+        .seed(seed)
+        .build_protocol(protocol)
+        .unwrap_or_else(|e| panic!("{e}"));
+    summarize(&sim.run_rounds(rounds))
 }
 
 /// Runs one protocol for `rounds` rounds on the 18-node testbed under
 /// static jamming at `level` duty cycle (one Fig. 5 trial).
 pub fn fig5_run(
-    protocol: Protocol,
+    protocol: &str,
     level: f64,
     policy: &AdaptivityPolicy,
     rounds: usize,
@@ -202,60 +194,6 @@ pub fn fig5_run(
     let topo = Topology::kiel_testbed_18(1);
     let interference = kiel_jamming(level);
     run_protocol(protocol, &topo, &interference, policy, rounds, seed)
-}
-
-/// Runs `protocol` on `topo` under `interference` and summarizes the rounds.
-fn run_protocol(
-    protocol: Protocol,
-    topo: &Topology,
-    interference: &dyn InterferenceModel,
-    policy: &AdaptivityPolicy,
-    rounds: usize,
-    seed: u64,
-) -> ProtocolSummary {
-    match protocol {
-        Protocol::Lwb => {
-            let mut lwb =
-                StaticLwbRunner::new(topo, interference, LwbConfig::testbed_default(), 3, seed);
-            summarize(&lwb.run_rounds(rounds))
-        }
-        Protocol::Dimmer => {
-            let cfg = DimmerConfig::default();
-            // Keep the DQN input layout valid on topologies smaller than the
-            // default K = 10 input nodes.
-            let k = cfg.k_input_nodes.min(topo.num_nodes());
-            let cfg = cfg.with_k_input_nodes(k);
-            let mut dimmer = DimmerRunner::new(
-                topo,
-                interference,
-                LwbConfig::testbed_default(),
-                cfg,
-                policy.clone(),
-                seed,
-            );
-            summarize(&dimmer.run_rounds(rounds))
-        }
-        Protocol::Pid => {
-            let mut pid = PidRunner::new(
-                topo,
-                interference,
-                LwbConfig::testbed_default(),
-                PidController::paper_pi(),
-                seed,
-            );
-            summarize(&pid.run_rounds(rounds))
-        }
-    }
-}
-
-/// Runs the three protocols for `rounds` rounds under static jamming at
-/// `level` duty cycle (`exp_fig5`).
-pub fn fig5_cell(level: f64, policy: AdaptivityPolicy, rounds: usize, seed: u64) -> Fig5Cell {
-    Fig5Cell {
-        lwb: fig5_run(Protocol::Lwb, level, &policy, rounds, seed),
-        dimmer: fig5_run(Protocol::Dimmer, level, &policy, rounds, seed),
-        pid: fig5_run(Protocol::Pid, level, &policy, rounds, seed),
-    }
 }
 
 /// The Fig. 6 forwarder-selection comparison.
@@ -270,14 +208,7 @@ pub struct Fig6Summary {
 impl Fig6Summary {
     /// Mean number of active forwarders in the forwarder-selection run.
     pub fn mean_forwarders(&self) -> f64 {
-        if self.with_fs.is_empty() {
-            return 0.0;
-        }
-        self.with_fs
-            .iter()
-            .map(|r| r.active_forwarders as f64)
-            .sum::<f64>()
-            / self.with_fs.len() as f64
+        mean_forwarders(&self.with_fs)
     }
 }
 
@@ -292,15 +223,13 @@ pub fn fig6_single(rounds: usize, seed: u64, selection: bool) -> Vec<DimmerRound
     } else {
         cfg.forwarder.enabled = false;
     }
-    let mut runner = DimmerRunner::new(
-        &topo,
-        &NoInterference,
-        LwbConfig::testbed_default(),
-        cfg,
-        AdaptivityPolicy::rule_based(),
-        seed,
-    );
-    runner.run_rounds(rounds)
+    let mut sim = SimulationBuilder::new(&topo)
+        .dimmer_config(cfg)
+        .policy(AdaptivityPolicy::rule_based())
+        .seed(seed)
+        .build_protocol("dimmer-rule")
+        .expect("dimmer-rule is registered");
+    sim.run_rounds(rounds)
 }
 
 /// Runs the interference-free forwarder-selection experiment (`exp_fig6`):
@@ -359,50 +288,14 @@ impl Fig7Scenario {
     }
 }
 
-/// One Fig. 7 cell: LWB / Dimmer / Crystal on the D-Cube collection workload.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Fig7Cell {
-    /// Static LWB without channel hopping.
-    pub lwb: AppOutcome,
-    /// Dimmer with channel hopping and ACKs, no retraining.
-    pub dimmer: AppOutcome,
-    /// The Crystal baseline.
-    pub crystal: AppOutcome,
-}
-
-/// The protocols of the Fig. 7 D-Cube comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Fig7Protocol {
-    /// Static LWB without channel hopping.
-    Lwb,
-    /// Dimmer with channel hopping and ACKs, no retraining.
-    Dimmer,
-    /// The Crystal baseline.
-    Crystal,
-}
-
-impl Fig7Protocol {
-    /// The protocols in presentation order.
-    pub const ALL: [Fig7Protocol; 3] = [
-        Fig7Protocol::Lwb,
-        Fig7Protocol::Dimmer,
-        Fig7Protocol::Crystal,
-    ];
-
-    /// Lower-case label used in cell names and JSON params.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Fig7Protocol::Lwb => "lwb",
-            Fig7Protocol::Dimmer => "dimmer",
-            Fig7Protocol::Crystal => "crystal",
-        }
-    }
-}
-
-/// Runs one protocol on the 48-node aperiodic-collection workload under
-/// `scenario` (one Fig. 7 trial).
+/// Runs one registry protocol on the 48-node aperiodic-collection workload
+/// under `scenario` (one Fig. 7 trial).
+///
+/// Per-protocol configuration mirrors the paper: `"static"` runs without
+/// channel hopping and without ACKs, `"dimmer-dqn"` with hopping and ACKs
+/// (no retraining), `"crystal"` with its EWSN-2019 settings.
 pub fn fig7_run(
-    protocol: Fig7Protocol,
+    protocol: &str,
     scenario: Fig7Scenario,
     policy: &AdaptivityPolicy,
     rounds: usize,
@@ -410,76 +303,28 @@ pub fn fig7_run(
 ) -> AppOutcome {
     let topo = Topology::dcube_48(7);
     let interference = scenario.interference(seed);
-    let traffic = || TrafficPattern::dcube_collection(topo.num_nodes(), 5, topo.coordinator());
-
-    match protocol {
-        Fig7Protocol::Lwb => {
-            let mut lwb = StaticLwbRunner::new(
-                &topo,
-                interference.as_ref(),
-                LwbConfig::dcube_default().with_channel_hopping(false),
-                3,
-                seed,
-            )
-            .with_traffic(traffic());
-            lwb.run_rounds(rounds);
-            AppOutcome {
-                reliability: lwb.app_reliability(),
-                energy_joules: lwb.total_energy_joules(),
-            }
-        }
-        Fig7Protocol::Dimmer => {
-            let mut dimmer = DimmerRunner::new(
-                &topo,
-                interference.as_ref(),
-                LwbConfig::dcube_default(),
-                DimmerConfig::dcube(),
-                policy.clone(),
-                seed,
-            )
-            .with_traffic(traffic());
-            dimmer.run_rounds(rounds);
-            AppOutcome {
-                reliability: dimmer.app_reliability(),
-                energy_joules: dimmer.total_energy_joules(),
-            }
-        }
-        Fig7Protocol::Crystal => {
-            let sink = topo.coordinator();
-            let all: Vec<NodeId> = topo.node_ids().collect();
-            let mut rng = SimRng::seed_from(seed ^ 0xC11);
-            let mut crystal = CrystalRunner::new(
-                &topo,
-                interference.as_ref(),
-                CrystalConfig::ewsn2019(),
-                sink,
-                seed,
-            );
-            let crystal_traffic = traffic();
-            for _ in 0..rounds {
-                let sources = crystal_traffic.sources_for_round(&all, &mut rng);
-                crystal.run_epoch(&sources, SimDuration::from_secs(1));
-            }
-            AppOutcome {
-                reliability: crystal.app_reliability(),
-                energy_joules: crystal.total_energy_joules(),
-            }
-        }
-    }
-}
-
-/// Runs the three protocols on the 48-node aperiodic-collection workload
-/// under `scenario` (`exp_fig7`).
-pub fn fig7_cell(
-    scenario: Fig7Scenario,
-    policy: AdaptivityPolicy,
-    rounds: usize,
-    seed: u64,
-) -> Fig7Cell {
-    Fig7Cell {
-        lwb: fig7_run(Fig7Protocol::Lwb, scenario, &policy, rounds, seed),
-        dimmer: fig7_run(Fig7Protocol::Dimmer, scenario, &policy, rounds, seed),
-        crystal: fig7_run(Fig7Protocol::Crystal, scenario, &policy, rounds, seed),
+    let traffic = TrafficPattern::dcube_collection(topo.num_nodes(), 5, topo.coordinator());
+    let (lwb_config, dimmer_config) = if protocol == "static" {
+        (
+            LwbConfig::dcube_default().with_channel_hopping(false),
+            DimmerConfig::default(),
+        )
+    } else {
+        (LwbConfig::dcube_default(), DimmerConfig::dcube())
+    };
+    let mut sim = SimulationBuilder::new(&topo)
+        .interference(interference.as_ref())
+        .lwb_config(lwb_config)
+        .dimmer_config(dimmer_config)
+        .policy(policy.clone())
+        .traffic(traffic)
+        .seed(seed)
+        .build_protocol(protocol)
+        .unwrap_or_else(|e| panic!("{e}"));
+    sim.run_rounds(rounds);
+    AppOutcome {
+        reliability: sim.app_reliability(),
+        energy_joules: sim.total_energy_joules(),
     }
 }
 
@@ -487,20 +332,6 @@ pub fn fig7_cell(
 // Scenario-grid builders: each experiment described as cells × trials for the
 // parallel engine in `crate::harness`.
 // ---------------------------------------------------------------------------
-
-/// Converts a [`ProtocolSummary`] into harness metrics.
-///
-/// `latency_ms` is a derived expected per-packet delivery latency under
-/// round-level retransmission: with per-round delivery probability `r`, a
-/// packet needs `1/r` rounds in expectation, i.e. `round_period / r`
-/// (reliability is clamped to `1e-3` to keep the metric finite).
-fn summary_metrics(s: &ProtocolSummary, round_period_ms: f64) -> TrialMetrics {
-    TrialMetrics::new()
-        .with("reliability", s.reliability)
-        .with("radio_on_ms", s.radio_on_ms)
-        .with("latency_ms", round_period_ms / s.reliability.max(1e-3))
-        .with("mean_ntx", s.mean_ntx)
-}
 
 /// The testbed round period in milliseconds (4-second LWB rounds).
 fn testbed_period_ms() -> f64 {
@@ -641,60 +472,80 @@ impl CachedRun {
     }
 }
 
-/// The Fig. 4c/4d dynamic-interference grid (`exp_fig4c`): Dimmer and/or
-/// the PID baseline (`protocol` is `"dimmer"`, `"pid"` or `"both"`) through
-/// the scripted 27-minute jamming timeline. `dimmer_cache`/`pid_cache` may
-/// hold already-simulated runs (see [`CachedRun`]).
+/// The Fig. 4c/4d dynamic-interference grid (`exp_fig4c`): the selected
+/// `protocols` (from `"dimmer-dqn"` and `"pid"`) through the scripted
+/// 27-minute jamming timeline. `dimmer_cache`/`pid_cache` may hold
+/// already-simulated runs (see [`CachedRun`]).
+///
+/// # Panics
+///
+/// Panics on protocols other than `"dimmer-dqn"` and `"pid"` (the dynamic
+/// timeline is only defined for the two adaptive testbed systems).
 pub fn fig4c_grid(
     policy: AdaptivityPolicy,
     rounds: usize,
-    protocol: &str,
+    protocols: &[String],
     dimmer_cache: Option<CachedRun>,
     pid_cache: Option<CachedRun>,
 ) -> ScenarioGrid {
     let mut grid = ScenarioGrid::new("fig4c");
     let period = testbed_period_ms();
-    if protocol != "pid" {
-        grid.push_cell(
-            "dimmer",
-            vec![("protocol".into(), "dimmer".into())],
-            move |seed| {
-                let reports = CachedRun::lookup(&dimmer_cache, seed)
-                    .unwrap_or_else(|| Arc::new(fig4c_dimmer(policy.clone(), rounds, seed)));
-                summary_metrics(&summarize(&reports), period)
-            },
-        );
-    }
-    if protocol != "dimmer" {
-        grid.push_cell(
-            "pid",
-            vec![("protocol".into(), "pid".into())],
-            move |seed| {
-                let reports = CachedRun::lookup(&pid_cache, seed)
-                    .unwrap_or_else(|| Arc::new(fig4c_pid(rounds, seed)));
-                summary_metrics(&summarize(&reports), period)
-            },
-        );
+    for protocol in protocols {
+        match protocol.as_str() {
+            "dimmer-dqn" => {
+                let policy = policy.clone();
+                let cache = dimmer_cache.clone();
+                grid.push_cell(
+                    "dimmer-dqn",
+                    vec![("protocol".into(), "dimmer-dqn".into())],
+                    move |seed| {
+                        let reports = CachedRun::lookup(&cache, seed).unwrap_or_else(|| {
+                            Arc::new(fig4c_dimmer(policy.clone(), rounds, seed))
+                        });
+                        summary_metrics(&summarize(&reports), period)
+                    },
+                );
+            }
+            "pid" => {
+                let cache = pid_cache.clone();
+                grid.push_cell(
+                    "pid",
+                    vec![("protocol".into(), "pid".into())],
+                    move |seed| {
+                        let reports = CachedRun::lookup(&cache, seed)
+                            .unwrap_or_else(|| Arc::new(fig4c_pid(rounds, seed)));
+                        summary_metrics(&summarize(&reports), period)
+                    },
+                );
+            }
+            other => panic!("fig4c supports dimmer-dqn and pid, got '{other}'"),
+        }
     }
     grid
 }
 
-/// The Fig. 5 static-interference grid (`exp_fig5`): every protocol at
-/// every jamming duty cycle in `levels`.
-pub fn fig5_grid(policy: AdaptivityPolicy, rounds: usize, levels: &[f64]) -> ScenarioGrid {
+/// The Fig. 5 static-interference grid (`exp_fig5`): every selected
+/// registry protocol at every jamming duty cycle in `levels`.
+pub fn fig5_grid(
+    policy: AdaptivityPolicy,
+    rounds: usize,
+    levels: &[f64],
+    protocols: &[String],
+) -> ScenarioGrid {
     let mut grid = ScenarioGrid::new("fig5");
     let period = testbed_period_ms();
     for &level in levels {
-        for protocol in Protocol::ALL {
+        for protocol in protocols {
             let policy = policy.clone();
+            let protocol = protocol.clone();
             grid.push_cell(
-                format!("{} @ jam={:.0}%", protocol.label(), level * 100.0),
+                format!("{protocol} @ jam={:.0}%", level * 100.0),
                 vec![
-                    ("protocol".into(), protocol.label().into()),
+                    ("protocol".into(), protocol.clone()),
                     ("jamming".into(), format!("{level}")),
                 ],
                 move |seed| {
-                    summary_metrics(&fig5_run(protocol, level, &policy, rounds, seed), period)
+                    summary_metrics(&fig5_run(&protocol, level, &policy, rounds, seed), period)
                 },
             );
         }
@@ -707,23 +558,28 @@ pub fn fig5_grid(policy: AdaptivityPolicy, rounds: usize, levels: &[f64]) -> Sce
 /// regular Fig. 5 cells; the point of the preset is running them with large
 /// `--trials` to estimate the *distribution* of each protocol's reliability,
 /// which a single-trial run cannot.
-pub fn fig5_seed_sweep_grid(policy: AdaptivityPolicy, rounds: usize) -> ScenarioGrid {
-    fig5_grid(policy, rounds, &[0.10, 0.25]).renamed("fig5_seed_sweep")
+pub fn fig5_seed_sweep_grid(
+    policy: AdaptivityPolicy,
+    rounds: usize,
+    protocols: &[String],
+) -> ScenarioGrid {
+    fig5_grid(policy, rounds, &[0.10, 0.25], protocols).renamed("fig5_seed_sweep")
 }
 
-/// Preset: Dimmer vs static LWB on square grid topologies of growing size
+/// Preset: the selected protocols on square grid topologies of growing size
 /// with one 15 %-duty-cycle jammer at the grid centre
 /// (`exp_sweep --preset topology-size`) — a scalability sweep no paper
-/// figure covers.
-pub fn topology_size_grid(rounds: usize, sides: &[usize]) -> ScenarioGrid {
+/// figure covers. Defaults to static LWB vs rule-based Dimmer.
+pub fn topology_size_grid(rounds: usize, sides: &[usize], protocols: &[String]) -> ScenarioGrid {
     let mut grid = ScenarioGrid::new("topology_size");
     let period = testbed_period_ms();
     for &side in sides {
-        for protocol in [Protocol::Lwb, Protocol::Dimmer] {
+        for protocol in protocols {
+            let protocol = protocol.clone();
             grid.push_cell(
-                format!("{} @ {side}x{side}", protocol.label()),
+                format!("{protocol} @ {side}x{side}"),
                 vec![
-                    ("protocol".into(), protocol.label().into()),
+                    ("protocol".into(), protocol.clone()),
                     ("nodes".into(), (side * side).to_string()),
                 ],
                 move |seed| {
@@ -736,7 +592,7 @@ pub fn topology_size_grid(rounds: usize, sides: &[usize]) -> ScenarioGrid {
                     interference.push(Box::new(PeriodicJammer::with_duty_cycle(centre, 0.15)));
                     let policy = AdaptivityPolicy::rule_based();
                     summary_metrics(
-                        &run_protocol(protocol, &topo, &interference, &policy, rounds, seed),
+                        &run_protocol(&protocol, &topo, &interference, &policy, rounds, seed),
                         period,
                     )
                 },
@@ -764,34 +620,31 @@ pub fn fig6_grid(rounds: usize, selection_cache: Option<CachedRun>) -> ScenarioG
             move |seed| {
                 let reports = CachedRun::lookup(&cache, seed)
                     .unwrap_or_else(|| Arc::new(fig6_single(rounds, seed, selection)));
-                let forwarders = reports
-                    .iter()
-                    .map(|r| r.active_forwarders as f64)
-                    .sum::<f64>()
-                    / reports.len().max(1) as f64;
-                summary_metrics(&summarize(&reports), period).with("mean_forwarders", forwarders)
+                summary_metrics(&summarize(&reports), period)
+                    .with("mean_forwarders", mean_forwarders(&reports))
             },
         );
     }
     grid
 }
 
-/// The Fig. 7 D-Cube grid (`exp_fig7`): every protocol under every
-/// interference scenario on the 48-node collection workload.
-pub fn fig7_grid(policy: AdaptivityPolicy, rounds: usize) -> ScenarioGrid {
+/// The Fig. 7 D-Cube grid (`exp_fig7`): every selected registry protocol
+/// under every interference scenario on the 48-node collection workload.
+pub fn fig7_grid(policy: AdaptivityPolicy, rounds: usize, protocols: &[String]) -> ScenarioGrid {
     let mut grid = ScenarioGrid::new("fig7");
     let period = LwbConfig::dcube_default().round_period.as_millis_f64();
     for scenario in Fig7Scenario::ALL {
-        for protocol in Fig7Protocol::ALL {
+        for protocol in protocols {
             let policy = policy.clone();
+            let protocol = protocol.clone();
             grid.push_cell(
-                format!("{} @ {}", protocol.label(), scenario.label()),
+                format!("{protocol} @ {}", scenario.label()),
                 vec![
-                    ("protocol".into(), protocol.label().into()),
+                    ("protocol".into(), protocol.clone()),
                     ("scenario".into(), scenario.label().into()),
                 ],
                 move |seed| {
-                    let outcome = fig7_run(protocol, scenario, &policy, rounds, seed);
+                    let outcome = fig7_run(&protocol, scenario, &policy, rounds, seed);
                     TrialMetrics::new()
                         .with("reliability", outcome.reliability)
                         .with("energy_joules", outcome.energy_joules)
@@ -801,6 +654,11 @@ pub fn fig7_grid(policy: AdaptivityPolicy, rounds: usize) -> ScenarioGrid {
         }
     }
     grid
+}
+
+/// `protocols` as owned strings (grid builders borrow them per cell).
+pub fn protocol_list(protocols: &[&str]) -> Vec<String> {
+    protocols.iter().map(|p| p.to_string()).collect()
 }
 
 #[cfg(test)]
@@ -819,24 +677,52 @@ mod tests {
     #[test]
     fn grid_builders_enumerate_expected_cells() {
         let policy = AdaptivityPolicy::rule_based();
+        let testbed = protocol_list(&TESTBED_PROTOCOLS);
+        let dcube = protocol_list(&DCUBE_PROTOCOLS);
+        let adaptive = protocol_list(&["dimmer-dqn", "pid"]);
         assert_eq!(table1_grid(&DimmerConfig::default()).len(), 1);
-        assert_eq!(fig4c_grid(policy.clone(), 4, "both", None, None).len(), 2);
-        assert_eq!(fig4c_grid(policy.clone(), 4, "pid", None, None).len(), 1);
-        assert_eq!(fig5_grid(policy.clone(), 4, &[0.0, 0.25]).len(), 6);
-        assert_eq!(fig5_seed_sweep_grid(policy.clone(), 4).len(), 6);
         assert_eq!(
-            fig5_seed_sweep_grid(policy.clone(), 4).name(),
+            fig4c_grid(policy.clone(), 4, &adaptive, None, None).len(),
+            2
+        );
+        assert_eq!(
+            fig4c_grid(policy.clone(), 4, &protocol_list(&["pid"]), None, None).len(),
+            1
+        );
+        assert_eq!(
+            fig5_grid(policy.clone(), 4, &[0.0, 0.25], &testbed).len(),
+            6
+        );
+        assert_eq!(fig5_seed_sweep_grid(policy.clone(), 4, &testbed).len(), 6);
+        assert_eq!(
+            fig5_seed_sweep_grid(policy.clone(), 4, &testbed).name(),
             "fig5_seed_sweep"
         );
         assert_eq!(fig6_grid(4, None).len(), 2);
-        assert_eq!(fig7_grid(policy, 4).len(), 9);
-        assert_eq!(topology_size_grid(4, &[3, 4]).len(), 4);
+        assert_eq!(fig7_grid(policy, 4, &dcube).len(), 9);
+        assert_eq!(
+            topology_size_grid(4, &[3, 4], &protocol_list(&["static", "dimmer-rule"])).len(),
+            4
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fig4c supports")]
+    fn fig4c_grid_rejects_unsupported_protocols() {
+        fig4c_grid(
+            AdaptivityPolicy::rule_based(),
+            4,
+            &protocol_list(&["crystal"]),
+            None,
+            None,
+        );
     }
 
     #[test]
     fn topology_size_cells_run_on_small_grids() {
         use crate::harness::RunOptions;
-        let report = topology_size_grid(4, &[3]).run(&RunOptions {
+        let protocols = protocol_list(&["static", "dimmer-rule"]);
+        let report = topology_size_grid(4, &[3], &protocols).run(&RunOptions {
             trials: 2,
             threads: 2,
             seed: 9,

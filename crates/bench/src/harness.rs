@@ -271,8 +271,11 @@ fn aggregate_cell(cell: &GridCell, per_trial: &[&TrialMetrics]) -> CellReport {
 
 /// The command-line options shared by every experiment binary.
 ///
-/// All `exp_*` binaries accept `--trials N`, `--threads N`, `--seed S`,
-/// `--json PATH` and `--quick` in addition to their binary-specific flags.
+/// All `exp_*` binaries accept `--protocols a,b,c`, `--trials N`,
+/// `--threads N`, `--seed S`, `--json PATH` and `--quick` in addition to
+/// their binary-specific flags. Protocol names resolve against the
+/// registry in `dimmer-baselines` (see
+/// [`select_protocols`](Self::select_protocols)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessCli {
     /// Trials per cell (`--trials`); `None` if the flag was absent so the
@@ -287,6 +290,9 @@ pub struct HarnessCli {
     pub json: Option<std::path::PathBuf>,
     /// Whether `--quick` was passed (roughly 10x shorter runs).
     pub quick: bool,
+    /// Comma-separated registry protocol names (`--protocols`); `None` if
+    /// the flag was absent so the binary runs its default set.
+    pub protocols: Option<Vec<String>>,
 }
 
 impl HarnessCli {
@@ -324,7 +330,54 @@ impl HarnessCli {
             seed: parse_num("--seed").unwrap_or(default_seed),
             json: arg_value("--json").map(std::path::PathBuf::from),
             quick: crate::scenarios::quick_flag(),
+            protocols: arg_value("--protocols").map(|v| {
+                let list: Vec<String> = v
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                if list.is_empty() {
+                    eprintln!("error: --protocols expects a comma-separated list of names");
+                    std::process::exit(2);
+                }
+                list
+            }),
         }
+    }
+
+    /// Resolves the `--protocols` selection against the registry and the
+    /// binary's `supported` subset, returning `supported` in order when the
+    /// flag was absent.
+    ///
+    /// Exits the process with status 2 on names the registry does not know
+    /// or the experiment cannot run, matching the binaries' existing error
+    /// style.
+    pub fn select_protocols(&self, supported: &[&str]) -> Vec<String> {
+        let Some(requested) = &self.protocols else {
+            return supported.iter().map(|p| p.to_string()).collect();
+        };
+        let registry = dimmer_baselines::ProtocolRegistry::standard();
+        for (i, name) in requested.iter().enumerate() {
+            if !registry.contains(name) {
+                eprintln!(
+                    "error: unknown protocol '{name}' (registry: {})",
+                    registry.names().join(", ")
+                );
+                std::process::exit(2);
+            }
+            if !supported.contains(&name.as_str()) {
+                eprintln!(
+                    "error: this experiment does not support protocol '{name}' (supported: {})",
+                    supported.join(", ")
+                );
+                std::process::exit(2);
+            }
+            if requested[..i].contains(name) {
+                eprintln!("error: protocol '{name}' listed more than once in --protocols");
+                std::process::exit(2);
+            }
+        }
+        requested.clone()
     }
 
     /// Builds [`RunOptions`] from the parsed flags, substituting

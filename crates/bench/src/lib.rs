@@ -15,19 +15,24 @@
 //! | `exp_fig7`    | Fig. 7 — 48-node D-Cube comparison vs LWB and Crystal   |
 //! | `exp_sweep`   | Grid presets beyond the paper (seed & topology sweeps)  |
 //!
-//! Every binary accepts `--trials N --threads N --seed S --json PATH` in
-//! addition to `--quick`: trials of each scenario cell are fanned out
-//! across worker threads by the [`harness`] module, per-trial seeds are
-//! derived deterministically (reports are bit-identical regardless of
-//! `--threads`), and [`report`] aggregates mean / stddev / 95 % CI per
-//! metric with optional machine-readable JSON output.
+//! Every binary accepts `--protocols a,b,c --trials N --threads N --seed S
+//! --json PATH` in addition to `--quick`: protocol names resolve against
+//! the registry in `dimmer-baselines` (`"dimmer-dqn"`, `"dimmer-rule"`,
+//! `"pid"`, `"static"`, `"crystal"`), trials of each scenario cell are
+//! fanned out across worker threads by the [`harness`] module, per-trial
+//! seeds are derived deterministically (reports are bit-identical
+//! regardless of `--threads`), and [`report`] aggregates mean / stddev /
+//! 95 % CI per metric with optional machine-readable JSON output.
 //!
 //! The library layers, bottom up:
 //!
 //! * [`scenarios`] — interference/topology scenario builders and tiny CLI
 //!   helpers shared by the binaries,
+//! * [`summary`] — the report-aggregation helpers every figure runner and
+//!   grid shares (run summaries, harness metrics, timeline buckets),
 //! * [`experiments`] — the testable per-figure experiment cores and their
-//!   [`ScenarioGrid`] builders,
+//!   [`ScenarioGrid`] builders, all running protocols through the generic
+//!   `RoundEngine` via the protocol registry,
 //! * [`harness`] — the parallel multi-trial engine,
 //! * [`report`] — statistics aggregation, table printing and JSON,
 //!
@@ -40,9 +45,9 @@ pub mod experiments;
 pub mod harness;
 pub mod report;
 pub mod scenarios;
+pub mod summary;
 
 pub use harness::{HarnessCli, RunOptions, ScenarioGrid, TrialMetrics};
 pub use report::{Aggregate, CellReport, GridReport};
-pub use scenarios::{
-    dimmer_policy, dynamic_interference_scenario, kiel_jamming, summarize, ProtocolSummary,
-};
+pub use scenarios::{dimmer_policy, dynamic_interference_scenario, kiel_jamming};
+pub use summary::{bucketize, mean_forwarders, summarize, summary_metrics, ProtocolSummary};

@@ -1,7 +1,7 @@
-//! Shared scenario builders and aggregation helpers for the experiment
-//! binaries.
+//! Shared interference/topology scenario builders and tiny CLI helpers for
+//! the experiment binaries (report aggregation lives in [`crate::summary`]).
 
-use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRoundReport};
+use dimmer_core::{AdaptivityPolicy, DimmerConfig};
 use dimmer_rl::DqnConfig;
 use dimmer_sim::{CompositeInterference, PeriodicJammer, ScheduledInterference, SimTime, Topology};
 use dimmer_traces::{train_policy, TraceCollector};
@@ -53,42 +53,6 @@ pub fn dimmer_policy(quick: bool) -> AdaptivityPolicy {
     report.quantized_policy()
 }
 
-/// Aggregate statistics of a sequence of per-round reports.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ProtocolSummary {
-    /// Mean per-round reliability.
-    pub reliability: f64,
-    /// Mean per-slot radio-on time, in milliseconds.
-    pub radio_on_ms: f64,
-    /// Mean `N_TX` over the run.
-    pub mean_ntx: f64,
-    /// Number of rounds aggregated.
-    pub rounds: usize,
-}
-
-/// Summarizes a run.
-pub fn summarize(reports: &[DimmerRoundReport]) -> ProtocolSummary {
-    if reports.is_empty() {
-        return ProtocolSummary {
-            reliability: 1.0,
-            radio_on_ms: 0.0,
-            mean_ntx: 0.0,
-            rounds: 0,
-        };
-    }
-    let n = reports.len() as f64;
-    ProtocolSummary {
-        reliability: reports.iter().map(|r| r.reliability).sum::<f64>() / n,
-        radio_on_ms: reports
-            .iter()
-            .map(|r| r.mean_radio_on.as_millis_f64())
-            .sum::<f64>()
-            / n,
-        mean_ntx: reports.iter().map(|r| r.ntx as f64).sum::<f64>() / n,
-        rounds: reports.len(),
-    }
-}
-
 /// Returns `true` if `--quick` was passed on the command line (all experiment
 /// binaries support it to cut run times by roughly an order of magnitude).
 pub fn quick_flag() -> bool {
@@ -107,8 +71,7 @@ pub fn arg_value(flag: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dimmer_core::RoundMode;
-    use dimmer_sim::{Channel, InterferenceModel, Position, SimDuration};
+    use dimmer_sim::{Channel, InterferenceModel, Position};
 
     #[test]
     fn kiel_jamming_zero_is_empty() {
@@ -136,29 +99,5 @@ mod tests {
             light > 0.01 && light < 0.15,
             "minute 19 sits in the 5% phase, got {light}"
         );
-    }
-
-    #[test]
-    fn summarize_averages_reports() {
-        let make = |rel: f64, ntx: u8| DimmerRoundReport {
-            round_index: 0,
-            time: SimTime::ZERO,
-            mode: RoundMode::Adaptivity,
-            ntx,
-            reliability: rel,
-            mean_radio_on: SimDuration::from_millis(10),
-            losses: 0,
-            reward: 1.0,
-            active_forwarders: 18,
-            energy_joules: 1.0,
-            packets_generated: 18,
-            packets_delivered: 18,
-        };
-        let s = summarize(&[make(1.0, 3), make(0.5, 5)]);
-        assert!((s.reliability - 0.75).abs() < 1e-9);
-        assert!((s.mean_ntx - 4.0).abs() < 1e-9);
-        assert_eq!(s.rounds, 2);
-        assert!((s.radio_on_ms - 10.0).abs() < 1e-9);
-        assert_eq!(summarize(&[]).rounds, 0);
     }
 }

@@ -18,9 +18,13 @@
 //!   bandit to learn whether they can become passive receivers
 //!   (`N_TX = 0`) and save energy without harming dissemination.
 //!
-//! The [`DimmerRunner`] ties the pieces together and drives the protocol over
-//! the simulated testbeds, producing per-round reports used by the
-//! experiment harness.
+//! The generic [`RoundEngine`] ([`engine`]) ties the pieces together: it owns
+//! the LWB round loop, feedback pipeline and energy/reliability accounting,
+//! and is driven by any [`Controller`] ([`controller`]) — Dimmer's
+//! [`AdaptivityController`], the fixed [`StaticNtxController`], or external
+//! controllers such as the PID and Crystal baselines in `dimmer-baselines`.
+//! [`DimmerRunner`] is the engine specialised to the adaptivity controller,
+//! producing the per-round reports used by the experiment harness.
 //!
 //! ## Quickstart
 //!
@@ -48,20 +52,24 @@
 pub mod action;
 pub mod adaptivity;
 pub mod config;
+pub mod controller;
+pub mod engine;
 pub mod feedback;
 pub mod forwarder;
 pub mod pretrained;
 pub mod reward;
-pub mod runner;
 pub mod state;
 pub mod stats;
 
 pub use action::AdaptivityAction;
 pub use adaptivity::{AdaptivityController, AdaptivityPolicy};
 pub use config::{DimmerConfig, ForwarderConfig};
+pub use controller::{ControlDecision, Controller, RoundObservation, StaticNtxController};
+pub use engine::{
+    DimmerRoundReport, DimmerRunner, EpochDriver, EpochOutcome, RoundEngine, RoundMode, Simulation,
+};
 pub use feedback::FeedbackHeader;
 pub use forwarder::{ForwarderSelection, Role};
 pub use reward::reward;
-pub use runner::{DimmerRoundReport, DimmerRunner, RoundMode};
 pub use state::StateBuilder;
 pub use stats::{GlobalView, NodeStats, StatisticsCollector, DEFAULT_STATS_WINDOW};

@@ -1,13 +1,13 @@
 //! Dimmer versus a PID controller under dynamic interference — a compact
-//! version of the paper's Fig. 4c/4d experiment.
+//! version of the paper's Fig. 4c/4d experiment, with both protocols built
+//! through the [`SimulationBuilder`]/registry API.
 //!
 //! ```text
-//! cargo run --release -p dimmer-examples --bin dynamic_interference
+//! cargo run --release --example dynamic_interference
 //! ```
 
-use dimmer_baselines::{PidController, PidRunner};
-use dimmer_core::{pretrained::pretrained_policy, DimmerConfig, DimmerRunner};
-use dimmer_lwb::LwbConfig;
+use dimmer_baselines::SimulationBuilder;
+use dimmer_core::DimmerRoundReport;
 use dimmer_sim::{PeriodicJammer, ScheduledInterference, SimTime, Topology};
 
 /// Builds the dynamic scenario: calm → 30 % jamming → calm → 5 % jamming.
@@ -27,33 +27,24 @@ fn main() {
     let topology = Topology::kiel_testbed_18(1);
     let rounds = 14 * 60 / 4; // 14 minutes of 4-second rounds
 
-    let dimmer_scenario = scenario();
-    let mut dimmer = DimmerRunner::new(
-        &topology,
-        &dimmer_scenario,
-        LwbConfig::testbed_default(),
-        DimmerConfig::default(),
-        pretrained_policy(),
-        7,
-    );
-    let dimmer_reports = dimmer.run_rounds(rounds);
-
-    let pid_scenario = scenario();
-    let mut pid = PidRunner::new(
-        &topology,
-        &pid_scenario,
-        LwbConfig::testbed_default(),
-        PidController::paper_pi(),
-        7,
-    );
-    let pid_reports = pid.run_rounds(rounds);
+    let run = |protocol: &str| -> Vec<DimmerRoundReport> {
+        let interference = scenario();
+        let mut sim = SimulationBuilder::new(&topology)
+            .interference(&interference)
+            .seed(7)
+            .build_protocol(protocol)
+            .expect("registered protocol");
+        sim.run_rounds(rounds)
+    };
+    let dimmer_reports = run("dimmer-dqn");
+    let pid_reports = run("pid");
 
     println!(
         "{:>6} | {:>10} {:>8} | {:>10} {:>8}",
         "minute", "Dimmer rel", "NTX", "PID rel", "NTX"
     );
     for minute in 0..14 {
-        let slice = |r: &[dimmer_core::DimmerRoundReport]| {
+        let slice = |r: &[DimmerRoundReport]| {
             let chunk: Vec<_> = r
                 .iter()
                 .filter(|x| x.time.as_secs_f64() as u64 / 60 == minute)
@@ -69,7 +60,7 @@ fn main() {
         println!("{minute:>6} | {d_rel:>10.3} {d_ntx:>8.1} | {p_rel:>10.3} {p_ntx:>8.1}");
     }
 
-    let avg = |r: &[dimmer_core::DimmerRoundReport]| {
+    let avg = |r: &[DimmerRoundReport]| {
         (
             r.iter().map(|x| x.reliability).sum::<f64>() / r.len() as f64,
             r.iter()

@@ -1,13 +1,18 @@
 //! Distributed forwarder selection with Exp3 bandits in an interference-free
 //! network (the paper's Fig. 6 experiment, shortened).
 //!
+//! This example plugs a custom configuration into the
+//! [`SimulationBuilder`]'s generic `build` entry point: the registry names
+//! cover the paper's protocols, but any `Controller` + `DimmerConfig`
+//! combination runs through the same engine.
+//!
 //! ```text
-//! cargo run --release -p dimmer-examples --bin forwarder_selection
+//! cargo run --release --example forwarder_selection
 //! ```
 
-use dimmer_core::{AdaptivityPolicy, DimmerConfig, DimmerRunner};
-use dimmer_lwb::LwbConfig;
-use dimmer_sim::{NoInterference, Topology};
+use dimmer_baselines::SimulationBuilder;
+use dimmer_core::{AdaptivityController, AdaptivityPolicy, DimmerConfig};
+use dimmer_sim::Topology;
 
 fn main() {
     let topology = Topology::kiel_testbed_18(1);
@@ -16,14 +21,13 @@ fn main() {
     let mut config = DimmerConfig::default().without_adaptivity();
     config.forwarder.calm_rounds_threshold = 1;
 
-    let mut runner = DimmerRunner::new(
-        &topology,
-        &NoInterference,
-        LwbConfig::testbed_default(),
-        config,
-        AdaptivityPolicy::rule_based(),
-        5,
-    );
+    let mut runner = SimulationBuilder::new(&topology)
+        .dimmer_config(config.clone())
+        .seed(5)
+        .build(AdaptivityController::new(
+            AdaptivityPolicy::rule_based(),
+            config,
+        ));
 
     let rounds = 1200; // 80 simulated minutes of 4-second rounds
     println!(

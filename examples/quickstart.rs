@@ -2,13 +2,16 @@
 //! conditions, then while two 802.15.4 jammers occupy 30 % of the air time,
 //! and watch the retransmission parameter adapt.
 //!
+//! Every protocol is constructed the same way: describe the scenario with a
+//! [`SimulationBuilder`], then pick a protocol from the registry by name
+//! (`"dimmer-dqn"`, `"dimmer-rule"`, `"pid"`, `"static"`, `"crystal"`).
+//!
 //! ```text
-//! cargo run --release -p dimmer-examples --bin quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use dimmer_core::{pretrained::pretrained_policy, DimmerConfig, DimmerRunner};
-use dimmer_lwb::LwbConfig;
-use dimmer_sim::{NoInterference, PeriodicJammer, ScheduledInterference, SimTime, Topology};
+use dimmer_baselines::SimulationBuilder;
+use dimmer_sim::{PeriodicJammer, ScheduledInterference, SimTime, Topology};
 
 fn main() {
     // The 18-node, 3-hop office deployment from the paper (Fig. 4a).
@@ -24,19 +27,14 @@ fn main() {
         );
     }
 
-    // The adaptivity policy: the pre-trained DQN shipped with the crate (or
+    // "dimmer-dqn" runs the pre-trained DQN shipped with dimmer-core (or
     // the rule-based fallback if the weights are absent).
-    let policy = pretrained_policy();
-    println!("using a learned policy: {}", policy.is_learned());
-
-    let mut runner = DimmerRunner::new(
-        &topology,
-        &interference,
-        LwbConfig::testbed_default(),
-        DimmerConfig::default(),
-        policy,
-        42,
-    );
+    let mut runner = SimulationBuilder::new(&topology)
+        .interference(&interference)
+        .seed(42)
+        .build_protocol("dimmer-dqn")
+        .expect("dimmer-dqn is registered");
+    println!("protocol: {}", runner.protocol());
 
     println!(
         "{:>6} {:>6} {:>12} {:>14} {:>12}",
@@ -60,14 +58,10 @@ fn main() {
     );
 
     // For comparison: the same network without any interference at all.
-    let mut calm_runner = DimmerRunner::new(
-        &topology,
-        &NoInterference,
-        LwbConfig::testbed_default(),
-        DimmerConfig::default(),
-        pretrained_policy(),
-        42,
-    );
+    let mut calm_runner = SimulationBuilder::new(&topology)
+        .seed(42)
+        .build_protocol("dimmer-dqn")
+        .expect("dimmer-dqn is registered");
     calm_runner.run_rounds(90);
     println!(
         "calm-network energy over the same duration: {:.1} J",

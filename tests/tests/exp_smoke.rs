@@ -1,11 +1,12 @@
 //! Smoke tests for the experiment harness: every `exp_*` scenario builder is
 //! exercised for a handful of rounds with a rule-based policy (no DQN
 //! training), guarding the rarely-run experiment binaries against build and
-//! behavior rot.
+//! behavior rot. Protocols are addressed by their registry names, exactly as
+//! the binaries' `--protocols` flags do.
 
 use dimmer_bench::experiments::{
-    fig4b_row, fig4c_dimmer, fig4c_pid, fig5_cell, fig5_run, fig6_run, fig6_single, fig7_cell,
-    fig7_run, table1_summary, Fig7Protocol, Fig7Scenario, Protocol,
+    fig4b_row, fig4c_dimmer, fig4c_pid, fig5_run, fig6_run, fig6_single, fig7_run, table1_summary,
+    Fig7Scenario, DCUBE_PROTOCOLS, TESTBED_PROTOCOLS,
 };
 use dimmer_core::{AdaptivityPolicy, DimmerConfig};
 use dimmer_sim::Topology;
@@ -57,21 +58,29 @@ fn exp_fig4c_both_protocols_produce_reports() {
 }
 
 #[test]
-fn exp_fig5_cell_covers_all_three_protocols() {
-    let cell = fig5_cell(0.25, AdaptivityPolicy::rule_based(), 8, 100);
-    for (summary, label) in [
-        (&cell.lwb, "lwb"),
-        (&cell.dimmer, "dimmer"),
-        (&cell.pid, "pid"),
-    ] {
-        assert_eq!(summary.rounds, 8, "{label}: all rounds aggregated");
-        assert_summary_sane(summary.reliability, label);
+fn exp_fig5_covers_every_testbed_protocol() {
+    let policy = AdaptivityPolicy::rule_based();
+    assert_eq!(TESTBED_PROTOCOLS, ["static", "dimmer-dqn", "pid"]);
+    for protocol in TESTBED_PROTOCOLS {
+        let summary = fig5_run(protocol, 0.25, &policy, 8, 100);
+        assert_eq!(summary.rounds, 8, "{protocol}: all rounds aggregated");
+        assert_summary_sane(summary.reliability, protocol);
         assert!(
             summary.radio_on_ms.is_finite() && summary.radio_on_ms > 0.0,
-            "{label}"
+            "{protocol}"
         );
-        assert!(summary.mean_ntx >= 1.0, "{label}: N_TX stays in range");
+        assert!(summary.mean_ntx >= 1.0, "{protocol}: N_TX stays in range");
     }
+}
+
+#[test]
+fn exp_fig5_static_protocol_never_adapts() {
+    let policy = AdaptivityPolicy::rule_based();
+    let summary = fig5_run("static", 0.25, &policy, 6, 11);
+    assert!(
+        (summary.mean_ntx - 3.0).abs() < 1e-9,
+        "static pins N_TX = 3"
+    );
 }
 
 #[test]
@@ -90,19 +99,6 @@ fn exp_fig6_run_tracks_forwarders() {
 }
 
 #[test]
-fn fig5_run_matches_the_cell_builder() {
-    // fig5_cell is defined as the three per-protocol runs with one seed.
-    let policy = AdaptivityPolicy::rule_based();
-    let cell = fig5_cell(0.25, policy.clone(), 6, 11);
-    assert_eq!(fig5_run(Protocol::Lwb, 0.25, &policy, 6, 11), cell.lwb);
-    assert_eq!(
-        fig5_run(Protocol::Dimmer, 0.25, &policy, 6, 11),
-        cell.dimmer
-    );
-    assert_eq!(fig5_run(Protocol::Pid, 0.25, &policy, 6, 11), cell.pid);
-}
-
-#[test]
 fn fig6_single_variants_match_the_combined_run() {
     let combined = fig6_run(12, 3);
     assert_eq!(fig6_single(12, 3, true), combined.with_fs);
@@ -110,36 +106,41 @@ fn fig6_single_variants_match_the_combined_run() {
 }
 
 #[test]
-fn fig7_run_matches_the_cell_builder() {
+fn fig5_runs_are_deterministic_per_seed() {
     let policy = AdaptivityPolicy::rule_based();
-    let cell = fig7_cell(Fig7Scenario::WifiLevel1, policy.clone(), 5, 300);
-    assert_eq!(
-        fig7_run(
-            Fig7Protocol::Crystal,
-            Fig7Scenario::WifiLevel1,
-            &policy,
-            5,
-            300
-        ),
-        cell.crystal
-    );
+    for protocol in TESTBED_PROTOCOLS {
+        assert_eq!(
+            fig5_run(protocol, 0.25, &policy, 6, 11),
+            fig5_run(protocol, 0.25, &policy, 6, 11),
+            "{protocol}"
+        );
+    }
 }
 
 #[test]
-fn exp_fig7_cells_cover_every_scenario() {
+fn exp_fig7_cells_cover_every_scenario_and_protocol() {
+    assert_eq!(DCUBE_PROTOCOLS, ["static", "dimmer-dqn", "crystal"]);
     for scenario in Fig7Scenario::ALL {
-        let cell = fig7_cell(scenario, AdaptivityPolicy::rule_based(), 6, 300);
-        for (outcome, label) in [
-            (&cell.lwb, "lwb"),
-            (&cell.dimmer, "dimmer"),
-            (&cell.crystal, "crystal"),
-        ] {
-            assert_summary_sane(outcome.reliability, label);
+        for protocol in DCUBE_PROTOCOLS {
+            let outcome = fig7_run(protocol, scenario, &AdaptivityPolicy::rule_based(), 6, 300);
+            assert_summary_sane(outcome.reliability, protocol);
             assert!(
                 outcome.energy_joules.is_finite() && outcome.energy_joules > 0.0,
-                "{label}: energy must be positive, got {}",
+                "{protocol}: energy must be positive, got {}",
                 outcome.energy_joules
             );
         }
     }
+}
+
+#[test]
+#[should_panic(expected = "unknown protocol")]
+fn fig5_run_rejects_unknown_protocols() {
+    fig5_run(
+        "carrier-pigeon",
+        0.25,
+        &AdaptivityPolicy::rule_based(),
+        2,
+        1,
+    );
 }

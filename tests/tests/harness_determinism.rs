@@ -3,7 +3,9 @@
 //! byte-identical JSON report regardless of the worker-thread count, and
 //! the per-cell statistics must match hand-computed values.
 
-use dimmer_bench::experiments::{fig5_grid, fig6_grid, topology_size_grid};
+use dimmer_bench::experiments::{
+    fig5_grid, fig6_grid, protocol_list, topology_size_grid, TESTBED_PROTOCOLS,
+};
 use dimmer_bench::harness::{RunOptions, ScenarioGrid, TrialMetrics};
 use dimmer_bench::report::Aggregate;
 use dimmer_core::AdaptivityPolicy;
@@ -13,7 +15,8 @@ use dimmer_sim::SimRng;
 fn fig5_grid_json_is_identical_across_thread_counts() {
     // A miniature Fig. 5 grid: rule-based policy, 2 levels x 3 protocols,
     // real simulation runs.
-    let grid = || fig5_grid(AdaptivityPolicy::rule_based(), 6, &[0.0, 0.25]);
+    let protocols = protocol_list(&TESTBED_PROTOCOLS);
+    let grid = || fig5_grid(AdaptivityPolicy::rule_based(), 6, &[0.0, 0.25], &protocols);
     let serial = grid().run(&RunOptions {
         trials: 3,
         threads: 1,
@@ -40,7 +43,10 @@ fn fig6_and_topology_grids_are_thread_count_invariant() {
             "fig6",
             Box::new(|| fig6_grid(8, None)) as Box<dyn Fn() -> ScenarioGrid>,
         ),
-        ("topology", Box::new(|| topology_size_grid(4, &[3]))),
+        (
+            "topology",
+            Box::new(|| topology_size_grid(4, &[3], &protocol_list(&["static", "dimmer-rule"]))),
+        ),
     ] {
         let serial = build().run(&RunOptions {
             trials: 2,
@@ -102,7 +108,8 @@ fn inconsistent_metric_sets_are_rejected() {
 
 #[test]
 fn different_base_seeds_produce_different_trials() {
-    let grid = || fig5_grid(AdaptivityPolicy::rule_based(), 6, &[0.25]);
+    let protocols = protocol_list(&TESTBED_PROTOCOLS);
+    let grid = || fig5_grid(AdaptivityPolicy::rule_based(), 6, &[0.25], &protocols);
     let a = grid().run(&RunOptions {
         trials: 2,
         threads: 2,
@@ -179,7 +186,12 @@ fn aggregation_matches_hand_computed_statistics() {
 
 #[test]
 fn json_report_round_trips_key_fields() {
-    let grid = fig5_grid(AdaptivityPolicy::rule_based(), 4, &[0.0]);
+    let grid = fig5_grid(
+        AdaptivityPolicy::rule_based(),
+        4,
+        &[0.0],
+        &protocol_list(&TESTBED_PROTOCOLS),
+    );
     let report = grid.run(&RunOptions {
         trials: 2,
         threads: 2,
