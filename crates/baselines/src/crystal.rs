@@ -93,10 +93,14 @@ impl CrystalEpochReport {
 }
 
 /// Executes Crystal epochs over the simulated substrate.
+///
+/// The runner owns one [`FloodSimulator`], so the topology is compiled once
+/// at construction and every T/A flood of every epoch reuses the same
+/// scratch workspace.
 #[derive(Debug)]
 pub struct CrystalRunner<'a> {
     topology: &'a Topology,
-    interference: &'a dyn InterferenceModel,
+    flood: FloodSimulator<'a>,
     config: CrystalConfig,
     hopping: HoppingSequence,
     sink: NodeId,
@@ -119,7 +123,7 @@ impl<'a> CrystalRunner<'a> {
     ) -> Self {
         CrystalRunner {
             topology,
-            interference,
+            flood: FloodSimulator::new(topology, interference),
             config,
             hopping: HoppingSequence::dimmer_default(),
             sink,
@@ -179,19 +183,16 @@ impl<'a> CrystalRunner<'a> {
         sources: &[NodeId],
         epoch_period: SimDuration,
     ) -> CrystalEpochReport {
-        let sim = FloodSimulator::new(self.topology, self.interference);
         let mut per_node_energy: Vec<RadioAccounting> =
             vec![RadioAccounting::new(); self.topology.num_nodes()];
         let mut slot_count = 0usize;
         let mut cursor = self.now;
 
         // Synchronization flood from the sink (every epoch, even when idle).
-        let sync = sim.flood(
-            &self.flood_config(0, true),
-            self.sink,
-            cursor,
-            &mut self.rng,
-        );
+        let sync_cfg = self.flood_config(0, true);
+        let sync = self
+            .flood
+            .flood(&sync_cfg, self.sink, cursor, &mut self.rng);
         for node in self.topology.node_ids() {
             per_node_energy[node.index()].merge(&sync.node(node).radio);
         }
@@ -230,12 +231,8 @@ impl<'a> CrystalRunner<'a> {
                 None
             } else {
                 let winner = pending[self.rng.index(pending.len())];
-                let t_flood = sim.flood(
-                    &self.flood_config(pairs, false),
-                    winner,
-                    cursor,
-                    &mut self.rng,
-                );
+                let t_cfg = self.flood_config(pairs, false);
+                let t_flood = self.flood.flood(&t_cfg, winner, cursor, &mut self.rng);
                 for node in self.topology.node_ids() {
                     per_node_energy[node.index()].merge(&t_flood.node(node).radio);
                 }
@@ -251,12 +248,8 @@ impl<'a> CrystalRunner<'a> {
 
             // A slot: the sink floods the acknowledgement for the packet it
             // just received (or an empty beacon otherwise).
-            let a_flood = sim.flood(
-                &self.flood_config(pairs, true),
-                self.sink,
-                cursor,
-                &mut self.rng,
-            );
+            let a_cfg = self.flood_config(pairs, true);
+            let a_flood = self.flood.flood(&a_cfg, self.sink, cursor, &mut self.rng);
             for node in self.topology.node_ids() {
                 per_node_energy[node.index()].merge(&a_flood.node(node).radio);
             }

@@ -31,7 +31,7 @@
 //! their report streams to the registry-built engines byte-for-byte.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod crystal;
 pub mod pid;

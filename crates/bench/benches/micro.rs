@@ -16,7 +16,7 @@ use rand::SeedableRng;
 
 fn bench_glossy_flood(c: &mut Criterion) {
     let topo = Topology::kiel_testbed_18(1);
-    let sim = FloodSimulator::new(&topo, &NoInterference);
+    let mut sim = FloodSimulator::new(&topo, &NoInterference);
     let cfg = GlossyConfig::default();
     let mut rng = SimRng::seed_from(1);
     c.bench_function("glossy_flood_18_nodes_ntx3", |b| {
@@ -27,7 +27,7 @@ fn bench_glossy_flood(c: &mut Criterion) {
 fn bench_lwb_round(c: &mut Criterion) {
     let topo = Topology::kiel_testbed_18(1);
     let lwb = LwbConfig::testbed_default();
-    let exec = RoundExecutor::new(&topo, &NoInterference, lwb.clone());
+    let mut exec = RoundExecutor::new(&topo, &NoInterference, lwb.clone());
     let mut scheduler = LwbScheduler::new(lwb);
     let sources: Vec<NodeId> = topo.node_ids().collect();
     let schedule = scheduler.next_schedule(&sources, dimmer_glossy::NtxAssignment::Uniform(3));

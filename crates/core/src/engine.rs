@@ -153,6 +153,9 @@ impl std::fmt::Debug for Backend<'_> {
 #[derive(Debug)]
 pub struct RoundEngine<'a, C: Controller> {
     topology: &'a Topology,
+    /// All node ids, cached once so the per-round traffic draw does not
+    /// re-collect the iterator.
+    node_ids: Vec<NodeId>,
     config: DimmerConfig,
     lwb_config: LwbConfig,
     traffic: TrafficPattern,
@@ -289,6 +292,7 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
         }
         RoundEngine {
             topology,
+            node_ids: topology.node_ids().collect(),
             traffic: TrafficPattern::AllToAll,
             controller,
             backend,
@@ -422,8 +426,9 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
 
         // 2. Sources for this round: fresh traffic plus (with ACKs) pending
         //    retransmissions.
-        let all_nodes: Vec<NodeId> = self.topology.node_ids().collect();
-        let mut sources = self.traffic.sources_for_round(&all_nodes, &mut self.rng);
+        let mut sources = self
+            .traffic
+            .sources_for_round(&self.node_ids, &mut self.rng);
         let fresh_sources = sources.clone();
         if self.config.acknowledgements {
             for p in &lwb.pending {
@@ -565,8 +570,9 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
         let Backend::Epoch(driver) = &mut self.backend else {
             unreachable!("run_epoch_round on a non-epoch backend");
         };
-        let all_nodes: Vec<NodeId> = self.topology.node_ids().collect();
-        let sources = self.traffic.sources_for_round(&all_nodes, &mut self.rng);
+        let sources = self
+            .traffic
+            .sources_for_round(&self.node_ids, &mut self.rng);
         let period = self.lwb_config.round_period;
         let outcome = driver.run_epoch(&sources, period);
         let ntx = driver.ntx();

@@ -1,4 +1,4 @@
-//! Slot-by-slot simulation of a Glossy flood.
+//! The optimized slot-by-slot Glossy flood kernel.
 //!
 //! The flood advances in *relay slots* of one packet air time plus the RX/TX
 //! turnaround (~1.4 ms for the paper's 30-byte packets). In every relay slot
@@ -17,19 +17,124 @@
 //! receive keep listening for the whole slot budget — exactly the radio-on
 //! accounting used in the paper ("slots in which no packet was received are
 //! accounted for").
+//!
+//! # Kernel layout
+//!
+//! This module is the *fast* implementation of the semantics above; the
+//! original dense implementation lives unchanged in [`crate::reference`] and
+//! serves as the equivalence oracle. The kernel differs only in *how* it
+//! computes, never in *what*:
+//!
+//! * node state is structure-of-arrays scratch in a reusable
+//!   [`FloodWorkspace`] — zero heap allocation per flood except the returned
+//!   [`FloodOutcome`],
+//! * each receiver's miss product gathers from the [`CompiledTopology`]
+//!   (compiled once per simulator), adaptively picking the cheaper of two
+//!   bit-identical
+//!   iteration orders: the dense per-receiver factor row indexed by the
+//!   slot's transmitter list, or — when fewer incoming links than
+//!   transmitters exist — the receiver's in-link CSR filtered by a
+//!   transmitter bitmask,
+//! * a sorted active-node list replaces the per-slot full scans, and
+//!   transmitter membership is a boolean mask instead of a `Vec` scan,
+//! * interference is evaluated through a precompiled per-node mask
+//!   ([`InterferenceModel::compile_for`]) at most **once per slot** instead
+//!   of once per receiver, and calm scenarios
+//!   ([`InterferenceModel::is_always_idle`]) skip it entirely.
+//!
+//! Bit-for-bit equivalence with the reference holds because (a) the RNG is
+//! consumed for exactly the same receivers in the same order
+//! ([`SimRng::chance`] consumes no state for `p <= 0`, which covers every
+//! receiver the kernel skips), (b) each receiver's miss product multiplies
+//! the same factors in the same (ascending-transmitter) order — the CSR
+//! only omits links whose factor `1.0 - prr` rounds to exactly `1.0`, a
+//! bitwise no-op — and (c) compiled interference masks are contractually
+//! bit-identical to per-receiver `busy_fraction` calls.
 
 use crate::config::GlossyConfig;
 use crate::outcome::{FloodOutcome, NodeFloodOutcome};
 use dimmer_sim::{
-    InterferenceModel, NodeId, RadioAccounting, RadioState, SimRng, SimTime, Topology,
+    CompiledTopology, InterferenceModel, NodeId, RadioAccounting, RadioState, SimRng, SimTime,
+    SlotInterference, Topology,
 };
 
-/// Simulates Glossy floods over a fixed topology and interference
-/// environment.
+/// Sentinel for "no scheduled transmission" / "never switched off".
+const NONE_U32: u32 = u32::MAX;
+
+/// Reusable per-flood scratch buffers (structure-of-arrays node state).
 ///
-/// The simulator is cheap to construct; it borrows the topology and the
-/// interference model, so one instance per experiment scenario is the normal
-/// usage pattern.
+/// One workspace serves any number of floods over topologies up to its
+/// capacity; it grows on demand and never shrinks. [`FloodSimulator`] embeds
+/// one, which is what makes a long simulation allocation-free per slot: the
+/// only allocation left in the hot path is the returned [`FloodOutcome`].
+#[derive(Debug, Default)]
+pub struct FloodWorkspace {
+    participating: Vec<bool>,
+    has_packet: Vec<bool>,
+    first_rx_slot: Vec<u8>,
+    tx_remaining: Vec<u8>,
+    next_tx_slot: Vec<u32>,
+    relays: Vec<u8>,
+    off_after_slot: Vec<u32>,
+    /// Participating, still-on nodes, ascending by id.
+    active: Vec<u16>,
+    /// Participating nodes still waiting for the packet, ascending by id —
+    /// exactly the eligible receivers of each slot (a node holding the
+    /// packet is never eligible, and every transmitter holds the packet).
+    listening: Vec<u16>,
+    /// This slot's transmitters, ascending by id.
+    transmitters: Vec<u16>,
+    is_transmitting: Vec<bool>,
+    /// Per-node busy fractions of the current slot, filled lazily from the
+    /// compiled interference mask.
+    busy: Vec<f64>,
+}
+
+impl FloodWorkspace {
+    /// Creates a workspace pre-sized for `n` nodes.
+    pub fn for_nodes(n: usize) -> Self {
+        let mut ws = FloodWorkspace::default();
+        ws.reset(n);
+        ws
+    }
+
+    /// Number of nodes the workspace is currently sized for.
+    pub fn capacity(&self) -> usize {
+        self.participating.len()
+    }
+
+    /// Resizes (if needed) and clears the per-flood state.
+    fn reset(&mut self, n: usize) {
+        self.participating.clear();
+        self.participating.resize(n, false);
+        self.has_packet.clear();
+        self.has_packet.resize(n, false);
+        self.first_rx_slot.clear();
+        self.first_rx_slot.resize(n, 0);
+        self.tx_remaining.clear();
+        self.tx_remaining.resize(n, 0);
+        self.next_tx_slot.clear();
+        self.next_tx_slot.resize(n, NONE_U32);
+        self.relays.clear();
+        self.relays.resize(n, 0);
+        self.off_after_slot.clear();
+        self.off_after_slot.resize(n, NONE_U32);
+        self.active.clear();
+        self.listening.clear();
+        self.transmitters.clear();
+        self.is_transmitting.clear();
+        self.is_transmitting.resize(n, false);
+        self.busy.resize(n, 0.0);
+    }
+}
+
+/// Simulates Glossy floods over a fixed topology and interference
+/// environment using the optimized kernel.
+///
+/// Construction compiles the topology into its structure-of-arrays form
+/// (`O(n²)`, once per trial) and allocates the reusable [`FloodWorkspace`];
+/// every subsequent flood is allocation-free apart from its returned
+/// outcome, which is why the methods take `&mut self`.
 ///
 /// # Examples
 ///
@@ -37,35 +142,34 @@ use dimmer_sim::{
 /// use dimmer_glossy::{FloodSimulator, GlossyConfig};
 /// use dimmer_sim::{Topology, NoInterference, SimRng, SimTime, NodeId};
 /// let topo = Topology::line(5, 6.0, 3);
-/// let sim = FloodSimulator::new(&topo, &NoInterference);
+/// let mut sim = FloodSimulator::new(&topo, &NoInterference);
 /// let out = sim.flood(&GlossyConfig::default(), NodeId(2), SimTime::ZERO, &mut SimRng::seed_from(0));
 /// assert_eq!(out.reach_count(), 5);
 /// ```
 #[derive(Debug)]
 pub struct FloodSimulator<'a> {
     topology: &'a Topology,
+    compiled: CompiledTopology,
     interference: &'a dyn InterferenceModel,
-}
-
-#[derive(Debug, Clone)]
-struct NodeState {
-    participating: bool,
-    has_packet: bool,
-    first_rx_slot: Option<u8>,
-    tx_remaining: u8,
-    next_tx_slot: Option<usize>,
-    relays: u8,
-    /// Relay slot index *after* which the node switched its radio off.
-    off_after_slot: Option<usize>,
+    /// Precompiled per-node interference mask, when the model supports one.
+    slot_interference: Option<Box<dyn SlotInterference>>,
+    workspace: FloodWorkspace,
 }
 
 impl<'a> FloodSimulator<'a> {
     /// Creates a flood simulator for the given topology and interference
-    /// environment.
+    /// environment, compiling the topology (and, when supported, the
+    /// interference mask) for the kernel.
     pub fn new(topology: &'a Topology, interference: &'a dyn InterferenceModel) -> Self {
+        let compiled = CompiledTopology::compile(topology);
+        let slot_interference = interference.compile_for(compiled.positions());
+        let workspace = FloodWorkspace::for_nodes(topology.num_nodes());
         FloodSimulator {
             topology,
+            compiled,
             interference,
+            slot_interference,
+            workspace,
         }
     }
 
@@ -74,16 +178,24 @@ impl<'a> FloodSimulator<'a> {
         self.topology
     }
 
+    /// The compiled (structure-of-arrays) view the kernel runs on.
+    pub fn compiled(&self) -> &CompiledTopology {
+        &self.compiled
+    }
+
     /// Runs one flood in which every node participates.
     pub fn flood(
-        &self,
+        &mut self,
         cfg: &GlossyConfig,
         initiator: NodeId,
         start: SimTime,
         rng: &mut SimRng,
     ) -> FloodOutcome {
-        let participants = vec![true; self.topology.num_nodes()];
-        self.flood_with_participants(cfg, initiator, start, rng, &participants)
+        assert!(
+            initiator.index() < self.compiled.num_nodes(),
+            "initiator out of range"
+        );
+        self.flood_impl(cfg, initiator, start, rng, None)
     }
 
     /// Runs one flood with an explicit participation mask (nodes that missed
@@ -94,14 +206,14 @@ impl<'a> FloodSimulator<'a> {
     /// Panics if `participants` does not cover every node, if the initiator
     /// is out of range, or if the initiator is marked as not participating.
     pub fn flood_with_participants(
-        &self,
+        &mut self,
         cfg: &GlossyConfig,
         initiator: NodeId,
         start: SimTime,
         rng: &mut SimRng,
         participants: &[bool],
     ) -> FloodOutcome {
-        let n = self.topology.num_nodes();
+        let n = self.compiled.num_nodes();
         assert_eq!(
             participants.len(),
             n,
@@ -112,138 +224,212 @@ impl<'a> FloodSimulator<'a> {
             participants[initiator.index()],
             "the initiator must participate in its own flood"
         );
+        self.flood_impl(cfg, initiator, start, rng, Some(participants))
+    }
 
+    /// The kernel. `participants: None` means everyone participates.
+    fn flood_impl(
+        &mut self,
+        cfg: &GlossyConfig,
+        initiator: NodeId,
+        start: SimTime,
+        rng: &mut SimRng,
+        participants: Option<&[bool]>,
+    ) -> FloodOutcome {
+        let compiled = &self.compiled;
+        let interference = self.interference;
+        let slot_interference = &mut self.slot_interference;
+        let ws = &mut self.workspace;
+        let n = compiled.num_nodes();
         let slot_dur = cfg.relay_slot_duration();
         let airtime = cfg.packet_airtime();
+        let airtime_us = airtime.as_micros();
         let max_slots = cfg.max_relay_slots().max(1);
+        let idle = interference.is_always_idle();
+        ws.reset(n);
 
-        let mut states: Vec<NodeState> = (0..n)
-            .map(|i| NodeState {
-                participating: participants[i],
-                has_packet: false,
-                first_rx_slot: None,
-                tx_remaining: 0,
-                next_tx_slot: None,
-                relays: 0,
-                off_after_slot: if participants[i] { None } else { Some(0) },
-            })
-            .collect();
+        for i in 0..n {
+            let part = participants.is_none_or(|p| p[i]);
+            ws.participating[i] = part;
+            if part {
+                ws.active.push(i as u16);
+                if i != initiator.index() {
+                    ws.listening.push(i as u16);
+                }
+            }
+        }
 
         // The initiator owns the packet from the start and always transmits
         // at least once, even under N_TX = 0.
         {
-            let init = &mut states[initiator.index()];
-            init.has_packet = true;
-            init.first_rx_slot = Some(0);
-            init.tx_remaining = cfg.ntx.for_node(initiator).max(1);
-            init.next_tx_slot = Some(0);
+            let i = initiator.index();
+            ws.has_packet[i] = true;
+            ws.first_rx_slot[i] = 0;
+            ws.tx_remaining[i] = cfg.ntx.for_node(initiator).max(1);
+            ws.next_tx_slot[i] = 0;
         }
 
         let mut last_active_slot = 0usize;
         for slot in 0..max_slots {
-            let slot_start = start + slot_dur * slot as u64;
-
-            // Who transmits in this slot?
-            let transmitters: Vec<NodeId> = (0..n)
-                .map(|i| NodeId(i as u16))
-                .filter(|id| {
-                    let s = &states[id.index()];
-                    s.participating
-                        && s.off_after_slot.is_none()
-                        && s.next_tx_slot == Some(slot)
-                        && s.tx_remaining > 0
-                })
-                .collect();
-
-            let anyone_active = states
-                .iter()
-                .any(|s| s.participating && s.off_after_slot.is_none());
-            if !anyone_active {
+            if ws.active.is_empty() {
                 break;
             }
             last_active_slot = slot;
+            let slot_u32 = slot as u32;
+            let slot_start = start + slot_dur * slot as u64;
+
+            // Who transmits in this slot? (`active` is ascending, so the
+            // transmitter list is too — matching the reference scan order.)
+            ws.transmitters.clear();
+            for &i in &ws.active {
+                let iu = i as usize;
+                if ws.next_tx_slot[iu] == slot_u32 && ws.tx_remaining[iu] > 0 {
+                    ws.transmitters.push(i);
+                    ws.is_transmitting[iu] = true;
+                }
+            }
+
+            let mut turned_off = false;
 
             // Receptions: every participating node that does not yet have the
             // packet and is not transmitting listens in this slot.
-            if !transmitters.is_empty() {
-                let concurrency_factor = if transmitters.len() > 1 {
-                    (1.0 - cfg.concurrency_penalty * (transmitters.len() as f64 - 1.0)).max(0.5)
+            if !ws.transmitters.is_empty() {
+                let t_count = ws.transmitters.len();
+                let concurrency_factor = if t_count > 1 {
+                    (1.0 - cfg.concurrency_penalty * (t_count as f64 - 1.0)).max(0.5)
                 } else {
                     1.0
                 };
-                // Indexed loop: the body re-borrows `states[i]` mutably on
-                // reception, which rules out a plain iterator.
-                #[allow(clippy::needless_range_loop)]
-                for i in 0..n {
-                    let receiver = NodeId(i as u16);
-                    if transmitters.contains(&receiver) {
-                        continue;
-                    }
-                    let s = &states[i];
-                    if !s.participating || s.has_packet || s.off_after_slot.is_some() {
-                        continue;
-                    }
+                // The compiled interference mask is evaluated once per slot,
+                // outside the receiver loop; only models without a compiled
+                // mask fall back to per-receiver virtual calls.
+                let masked = if idle {
+                    false
+                } else if let Some(mask) = slot_interference.as_mut() {
+                    mask.busy_for_slot(slot_start, airtime_us, cfg.channel, &mut ws.busy);
+                    true
+                } else {
+                    false
+                };
+
+                // Gather phase over the eligible receivers, ascending by
+                // receiver id. `listening` excludes every packet holder, so
+                // no transmitter or done node needs filtering out here.
+                let mut received_any = false;
+                for idx in 0..ws.listening.len() {
+                    let r = ws.listening[idx];
+                    let ru = r as usize;
+                    // Miss product over the slot's transmitters, ascending —
+                    // the same factors in the same order as the reference.
+                    // Pick whichever bit-identical iteration is shorter: the
+                    // dense factor row over the transmitter list (factors of
+                    // immaterial links are exactly 1.0, a no-op), or the
+                    // receiver's in-link CSR masked by `is_transmitting`
+                    // (which skips only those no-op factors). For the few-
+                    // transmitter case the dense row always wins; checking
+                    // the in-degree first would only add loads.
                     let mut miss_all = 1.0;
-                    for &t in &transmitters {
-                        miss_all *= 1.0 - self.topology.link(t, receiver).prr();
-                    }
-                    let busy = self.interference.busy_fraction(
-                        slot_start,
-                        airtime.as_micros(),
-                        cfg.channel,
-                        self.topology.position(receiver),
-                    );
-                    let p = (1.0 - miss_all) * concurrency_factor * (1.0 - busy);
-                    if rng.chance(p) {
-                        let ntx = cfg.ntx.for_node(receiver);
-                        let st = &mut states[i];
-                        st.has_packet = true;
-                        st.first_rx_slot = Some(slot.min(u8::MAX as usize) as u8);
-                        st.tx_remaining = ntx;
-                        if ntx > 0 {
-                            st.next_tx_slot = Some(slot + 1);
+                    if t_count <= 4 {
+                        let row = compiled.miss_factor_row(ru);
+                        for &t in &ws.transmitters {
+                            miss_all *= row[t as usize];
+                        }
+                    } else {
+                        let (in_srcs, in_factors) = compiled.in_neighbor_slices(ru);
+                        if t_count <= in_srcs.len() {
+                            let row = compiled.miss_factor_row(ru);
+                            for &t in &ws.transmitters {
+                                miss_all *= row[t as usize];
+                            }
                         } else {
-                            // Passive receiver: radio off right after this slot.
-                            st.off_after_slot = Some(slot);
+                            for (&t, &factor) in in_srcs.iter().zip(in_factors) {
+                                if ws.is_transmitting[t as usize] {
+                                    miss_all *= factor;
+                                }
+                            }
                         }
                     }
+                    if miss_all == 1.0 {
+                        // No transmitter can reach this receiver: the
+                        // reference computes p = 0.0 here and
+                        // `SimRng::chance(0.0)` consumes no state, so
+                        // skipping both calls is bit-identical.
+                        continue;
+                    }
+                    let busy = if idle {
+                        0.0
+                    } else if masked {
+                        ws.busy[ru]
+                    } else {
+                        interference.busy_fraction(
+                            slot_start,
+                            airtime_us,
+                            cfg.channel,
+                            compiled.positions()[ru],
+                        )
+                    };
+                    let p = (1.0 - miss_all) * concurrency_factor * (1.0 - busy);
+                    if rng.chance(p) {
+                        let ntx = cfg.ntx.for_node(NodeId(r));
+                        ws.has_packet[ru] = true;
+                        ws.first_rx_slot[ru] = slot.min(u8::MAX as usize) as u8;
+                        ws.tx_remaining[ru] = ntx;
+                        received_any = true;
+                        if ntx > 0 {
+                            ws.next_tx_slot[ru] = slot_u32 + 1;
+                        } else {
+                            // Passive receiver: radio off right after this slot.
+                            ws.off_after_slot[ru] = slot_u32;
+                            turned_off = true;
+                        }
+                    }
+                }
+                if received_any {
+                    let has_packet = &ws.has_packet;
+                    ws.listening.retain(|&r| !has_packet[r as usize]);
                 }
             }
 
             // Advance the transmitters' schedules.
-            for &t in &transmitters {
-                let st = &mut states[t.index()];
-                st.relays += 1;
-                st.tx_remaining -= 1;
-                if st.tx_remaining > 0 {
-                    st.next_tx_slot = Some(slot + 2);
+            for k in 0..ws.transmitters.len() {
+                let tu = ws.transmitters[k] as usize;
+                ws.is_transmitting[tu] = false;
+                ws.relays[tu] += 1;
+                ws.tx_remaining[tu] -= 1;
+                if ws.tx_remaining[tu] > 0 {
+                    ws.next_tx_slot[tu] = slot_u32 + 2;
                 } else {
-                    st.next_tx_slot = None;
-                    st.off_after_slot = Some(slot);
+                    ws.next_tx_slot[tu] = NONE_U32;
+                    ws.off_after_slot[tu] = slot_u32;
+                    turned_off = true;
                 }
+            }
+            // Compact the active list (order-preserving) once anyone — a
+            // finished transmitter or a passive receiver — switched off.
+            if turned_off {
+                let off = &ws.off_after_slot;
+                ws.active.retain(|&i| off[i as usize] == NONE_U32);
             }
         }
 
         // Assemble per-node outcomes and radio accounting.
-        let per_node: Vec<NodeFloodOutcome> = states
-            .iter()
-            .map(|s| {
-                if !s.participating {
+        let per_node: Vec<NodeFloodOutcome> = (0..n)
+            .map(|i| {
+                if !ws.participating[i] {
                     return NodeFloodOutcome::not_participating();
                 }
                 let mut radio = RadioAccounting::new();
-                let on_time = match s.off_after_slot {
-                    Some(k) => (slot_dur * (k as u64 + 1)).min(cfg.max_slot_duration),
-                    // Never switched off: listened for the entire slot budget.
-                    None => cfg.max_slot_duration,
+                let on_time = match ws.off_after_slot[i] {
+                    NONE_U32 => cfg.max_slot_duration,
+                    k => (slot_dur * (k as u64 + 1)).min(cfg.max_slot_duration),
                 };
-                let tx_time = (airtime * s.relays as u64).min(on_time);
+                let tx_time = (airtime * ws.relays[i] as u64).min(on_time);
                 radio.record(RadioState::Tx, tx_time);
                 radio.record(RadioState::Rx, on_time.saturating_sub(tx_time));
                 NodeFloodOutcome {
-                    received: s.has_packet,
-                    first_rx_slot: s.first_rx_slot,
-                    relays: s.relays,
+                    received: ws.has_packet[i],
+                    first_rx_slot: ws.has_packet[i].then_some(ws.first_rx_slot[i]),
+                    relays: ws.relays[i],
                     radio,
                     participated: true,
                 }
@@ -259,11 +445,12 @@ impl<'a> FloodSimulator<'a> {
 mod tests {
     use super::*;
     use crate::config::NtxAssignment;
+    use crate::reference::ReferenceFloodSimulator;
     use dimmer_sim::{NoInterference, PeriodicJammer, Position, SimDuration};
     use proptest::prelude::*;
 
     fn calm_flood(topo: &Topology, cfg: &GlossyConfig, seed: u64) -> FloodOutcome {
-        let sim = FloodSimulator::new(topo, &NoInterference);
+        let mut sim = FloodSimulator::new(topo, &NoInterference);
         sim.flood(
             cfg,
             topo.coordinator(),
@@ -285,7 +472,7 @@ mod tests {
         let topo = Topology::kiel_testbed_18(2);
         let mut received = 0usize;
         let mut total = 0usize;
-        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
         let cfg = GlossyConfig::default();
         let mut rng = SimRng::seed_from(99);
         for _ in 0..50 {
@@ -341,7 +528,7 @@ mod tests {
         let cfg_active = GlossyConfig::default();
         let mut on_passive = 0u64;
         let mut on_active = 0u64;
-        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
         let mut rng = SimRng::seed_from(11);
         for _ in 0..30 {
             let p = sim.flood(&cfg_passive, topo.coordinator(), SimTime::ZERO, &mut rng);
@@ -375,7 +562,7 @@ mod tests {
         for j in jammers {
             comp.push(Box::new(j));
         }
-        let sim = FloodSimulator::new(&topo, &comp);
+        let mut sim = FloodSimulator::new(&topo, &comp);
         let mut rel = [0.0f64; 2];
         for (idx, ntx) in [1u8, 8u8].into_iter().enumerate() {
             let cfg = GlossyConfig::with_uniform_ntx(ntx);
@@ -404,7 +591,7 @@ mod tests {
         let topo = Topology::kiel_testbed_18(7);
         let jam =
             PeriodicJammer::with_duty_cycle(Position::new(11.0, 11.0), 1.0).with_jam_radius(100.0);
-        let sim = FloodSimulator::new(&topo, &jam);
+        let mut sim = FloodSimulator::new(&topo, &jam);
         let out = sim.flood(
             &GlossyConfig::default(),
             topo.coordinator(),
@@ -427,7 +614,7 @@ mod tests {
     #[test]
     fn non_participants_stay_silent_and_cold() {
         let topo = Topology::line(4, 6.0, 8);
-        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
         let participants = vec![true, true, false, true];
         let out = sim.flood_with_participants(
             &GlossyConfig::default(),
@@ -445,7 +632,7 @@ mod tests {
     #[test]
     fn same_seed_gives_identical_outcomes() {
         let topo = Topology::kiel_testbed_18(10);
-        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
         let cfg = GlossyConfig::default();
         let a = sim.flood(&cfg, NodeId(4), SimTime::ZERO, &mut SimRng::seed_from(77));
         let b = sim.flood(&cfg, NodeId(4), SimTime::ZERO, &mut SimRng::seed_from(77));
@@ -453,10 +640,62 @@ mod tests {
     }
 
     #[test]
+    fn standalone_workspace_sizes_to_the_requested_node_count() {
+        let ws = FloodWorkspace::for_nodes(24);
+        assert_eq!(ws.capacity(), 24);
+        assert_eq!(FloodWorkspace::default().capacity(), 0);
+    }
+
+    #[test]
+    fn simulator_exposes_its_compiled_topology() {
+        let topo = Topology::kiel_testbed_18(1);
+        let sim = FloodSimulator::new(&topo, &NoInterference);
+        assert_eq!(sim.compiled().num_nodes(), topo.num_nodes());
+        assert_eq!(sim.compiled().coordinator(), topo.coordinator());
+        assert_eq!(
+            sim.compiled().prr(NodeId(0), NodeId(1)),
+            topo.link(NodeId(0), NodeId(1)).prr()
+        );
+    }
+
+    #[test]
+    fn workspace_is_reused_across_floods_of_different_masks() {
+        let topo = Topology::kiel_testbed_18(1);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
+        let cfg = GlossyConfig::default();
+        let mut rng = SimRng::seed_from(5);
+        let full = sim.flood(&cfg, NodeId(0), SimTime::ZERO, &mut rng);
+        let mut mask = vec![true; topo.num_nodes()];
+        mask[7] = false;
+        mask[12] = false;
+        let partial = sim.flood_with_participants(&cfg, NodeId(0), SimTime::ZERO, &mut rng, &mask);
+        assert!(full.per_node().iter().all(|o| o.participated));
+        assert!(!partial.node(NodeId(7)).participated);
+        assert!(!partial.node(NodeId(12)).participated);
+        // A later full flood is unaffected by the earlier mask.
+        let full2 = sim.flood(&cfg, NodeId(0), SimTime::ZERO, &mut rng);
+        assert!(full2.per_node().iter().all(|o| o.participated));
+    }
+
+    #[test]
+    fn matches_reference_on_a_quick_spot_check() {
+        let topo = Topology::kiel_testbed_18(3);
+        let jam = PeriodicJammer::with_duty_cycle(Position::new(10.0, 10.0), 0.3);
+        let mut fast = FloodSimulator::new(&topo, &jam);
+        let slow = ReferenceFloodSimulator::new(&topo, &jam);
+        let cfg = GlossyConfig::default();
+        for seed in 0..20u64 {
+            let a = fast.flood(&cfg, NodeId(0), SimTime::ZERO, &mut SimRng::seed_from(seed));
+            let b = slow.flood(&cfg, NodeId(0), SimTime::ZERO, &mut SimRng::seed_from(seed));
+            assert_eq!(a, b, "seed {seed} diverged from the reference");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "initiator must participate")]
     fn initiator_must_participate() {
         let topo = Topology::line(3, 6.0, 1);
-        let sim = FloodSimulator::new(&topo, &NoInterference);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
         sim.flood_with_participants(
             &GlossyConfig::default(),
             NodeId(0),
@@ -471,7 +710,7 @@ mod tests {
         #[test]
         fn prop_flood_invariants(seed in 0u64..500, ntx in 0u8..=8, initiator in 0u16..18) {
             let topo = Topology::kiel_testbed_18(11);
-            let sim = FloodSimulator::new(&topo, &NoInterference);
+            let mut sim = FloodSimulator::new(&topo, &NoInterference);
             let cfg = GlossyConfig::with_uniform_ntx(ntx);
             let out = sim.flood(&cfg, NodeId(initiator), SimTime::ZERO, &mut SimRng::seed_from(seed));
             prop_assert!((0.0..=1.0).contains(&out.reliability()));
@@ -490,7 +729,7 @@ mod tests {
         fn prop_radio_on_time_at_most_budget_under_jamming(seed in 0u64..200, duty_pct in 1u32..=60) {
             let topo = Topology::kiel_testbed_18(12);
             let jam = PeriodicJammer::with_duty_cycle(Position::new(10.0, 10.0), duty_pct as f64 / 100.0);
-            let sim = FloodSimulator::new(&topo, &jam);
+            let mut sim = FloodSimulator::new(&topo, &jam);
             let cfg = GlossyConfig::with_uniform_ntx(8);
             let out = sim.flood(&cfg, topo.coordinator(), SimTime::ZERO, &mut SimRng::seed_from(seed));
             for o in out.per_node() {

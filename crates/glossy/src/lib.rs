@@ -22,6 +22,13 @@
 //! passive receivers (they turn their radio off right after the first
 //! successful reception and never relay).
 //!
+//! Two implementations share those semantics: the optimized kernel in
+//! [`flood`] (structure-of-arrays scratch in a reusable [`FloodWorkspace`],
+//! CSR link scatter over a [`dimmer_sim::CompiledTopology`]) that every
+//! production path runs, and the naive dense original in [`mod@reference`],
+//! kept verbatim as the equivalence oracle the kernel is pinned to
+//! byte-for-byte at fixed seeds.
+//!
 //! ## Example
 //!
 //! ```
@@ -29,7 +36,7 @@
 //! use dimmer_sim::{Topology, NoInterference, SimRng, SimTime};
 //!
 //! let topo = Topology::kiel_testbed_18(1);
-//! let sim = FloodSimulator::new(&topo, &NoInterference);
+//! let mut sim = FloodSimulator::new(&topo, &NoInterference);
 //! let cfg = GlossyConfig::default(); // N_TX = 3, 20 ms slot, channel 26
 //! let mut rng = SimRng::seed_from(7);
 //! let outcome = sim.flood(&cfg, topo.coordinator(), SimTime::ZERO, &mut rng);
@@ -37,12 +44,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod flood;
 pub mod outcome;
+pub mod reference;
 
 pub use config::{GlossyConfig, NtxAssignment};
-pub use flood::FloodSimulator;
+pub use flood::{FloodSimulator, FloodWorkspace};
 pub use outcome::{FloodOutcome, NodeFloodOutcome};
+pub use reference::ReferenceFloodSimulator;

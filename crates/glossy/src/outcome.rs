@@ -45,7 +45,7 @@ impl NodeFloodOutcome {
 /// use dimmer_sim::{Topology, NoInterference, SimRng, SimTime, NodeId};
 ///
 /// let topo = Topology::line(4, 6.0, 1);
-/// let sim = FloodSimulator::new(&topo, &NoInterference);
+/// let mut sim = FloodSimulator::new(&topo, &NoInterference);
 /// let out = sim.flood(&GlossyConfig::default(), NodeId(0), SimTime::ZERO, &mut SimRng::seed_from(1));
 /// assert_eq!(out.initiator(), NodeId(0));
 /// assert!(out.received(NodeId(3)));

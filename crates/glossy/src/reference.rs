@@ -1,0 +1,291 @@
+//! The naive, dense reference implementation of the Glossy flood.
+//!
+//! This is the original slot-by-slot simulation the repository shipped
+//! before the optimized kernel in [`crate::flood`] existed: per-flood state
+//! `Vec`s, a per-slot transmitter `Vec`, `O(transmitters)` membership scans
+//! and dense [`Topology::link`] lookups for every (transmitter, receiver)
+//! pair. It is deliberately kept **unchanged** as the equivalence oracle:
+//! the optimized [`FloodSimulator`](crate::FloodSimulator) consumes the RNG
+//! in exactly the same order and performs every floating-point operation in
+//! the same sequence, so its outcomes are pinned byte-for-byte to this
+//! module by the `flood_equivalence` test suite and a property test over
+//! random topologies.
+//!
+//! Use [`ReferenceFloodSimulator`] only in tests and benchmarks; production
+//! paths (the LWB round executor, the round engine, Crystal) all run the
+//! optimized kernel.
+
+use crate::config::GlossyConfig;
+use crate::outcome::{FloodOutcome, NodeFloodOutcome};
+use dimmer_sim::{
+    InterferenceModel, NodeId, RadioAccounting, RadioState, SimRng, SimTime, Topology,
+};
+
+/// The naive reference flood simulator (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_glossy::{ReferenceFloodSimulator, GlossyConfig};
+/// use dimmer_sim::{Topology, NoInterference, SimRng, SimTime, NodeId};
+/// let topo = Topology::line(5, 6.0, 3);
+/// let sim = ReferenceFloodSimulator::new(&topo, &NoInterference);
+/// let out = sim.flood(&GlossyConfig::default(), NodeId(2), SimTime::ZERO, &mut SimRng::seed_from(0));
+/// assert_eq!(out.reach_count(), 5);
+/// ```
+#[derive(Debug)]
+pub struct ReferenceFloodSimulator<'a> {
+    topology: &'a Topology,
+    interference: &'a dyn InterferenceModel,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    participating: bool,
+    has_packet: bool,
+    first_rx_slot: Option<u8>,
+    tx_remaining: u8,
+    next_tx_slot: Option<usize>,
+    relays: u8,
+    /// Relay slot index *after* which the node switched its radio off.
+    off_after_slot: Option<usize>,
+}
+
+impl<'a> ReferenceFloodSimulator<'a> {
+    /// Creates a reference flood simulator for the given topology and
+    /// interference environment.
+    pub fn new(topology: &'a Topology, interference: &'a dyn InterferenceModel) -> Self {
+        ReferenceFloodSimulator {
+            topology,
+            interference,
+        }
+    }
+
+    /// The topology this simulator floods over.
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// Runs one flood in which every node participates.
+    pub fn flood(
+        &self,
+        cfg: &GlossyConfig,
+        initiator: NodeId,
+        start: SimTime,
+        rng: &mut SimRng,
+    ) -> FloodOutcome {
+        let participants = vec![true; self.topology.num_nodes()];
+        self.flood_with_participants(cfg, initiator, start, rng, &participants)
+    }
+
+    /// Runs one flood with an explicit participation mask (nodes that missed
+    /// the LWB schedule keep their radio off and are excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` does not cover every node, if the initiator
+    /// is out of range, or if the initiator is marked as not participating.
+    pub fn flood_with_participants(
+        &self,
+        cfg: &GlossyConfig,
+        initiator: NodeId,
+        start: SimTime,
+        rng: &mut SimRng,
+        participants: &[bool],
+    ) -> FloodOutcome {
+        let n = self.topology.num_nodes();
+        assert_eq!(
+            participants.len(),
+            n,
+            "participation mask must cover every node"
+        );
+        assert!(initiator.index() < n, "initiator out of range");
+        assert!(
+            participants[initiator.index()],
+            "the initiator must participate in its own flood"
+        );
+
+        let slot_dur = cfg.relay_slot_duration();
+        let airtime = cfg.packet_airtime();
+        let max_slots = cfg.max_relay_slots().max(1);
+
+        let mut states: Vec<NodeState> = (0..n)
+            .map(|i| NodeState {
+                participating: participants[i],
+                has_packet: false,
+                first_rx_slot: None,
+                tx_remaining: 0,
+                next_tx_slot: None,
+                relays: 0,
+                off_after_slot: if participants[i] { None } else { Some(0) },
+            })
+            .collect();
+
+        // The initiator owns the packet from the start and always transmits
+        // at least once, even under N_TX = 0.
+        {
+            let init = &mut states[initiator.index()];
+            init.has_packet = true;
+            init.first_rx_slot = Some(0);
+            init.tx_remaining = cfg.ntx.for_node(initiator).max(1);
+            init.next_tx_slot = Some(0);
+        }
+
+        let mut last_active_slot = 0usize;
+        for slot in 0..max_slots {
+            let slot_start = start + slot_dur * slot as u64;
+
+            // Who transmits in this slot?
+            let transmitters: Vec<NodeId> = (0..n)
+                .map(|i| NodeId(i as u16))
+                .filter(|id| {
+                    let s = &states[id.index()];
+                    s.participating
+                        && s.off_after_slot.is_none()
+                        && s.next_tx_slot == Some(slot)
+                        && s.tx_remaining > 0
+                })
+                .collect();
+
+            let anyone_active = states
+                .iter()
+                .any(|s| s.participating && s.off_after_slot.is_none());
+            if !anyone_active {
+                break;
+            }
+            last_active_slot = slot;
+
+            // Receptions: every participating node that does not yet have the
+            // packet and is not transmitting listens in this slot.
+            if !transmitters.is_empty() {
+                let concurrency_factor = if transmitters.len() > 1 {
+                    (1.0 - cfg.concurrency_penalty * (transmitters.len() as f64 - 1.0)).max(0.5)
+                } else {
+                    1.0
+                };
+                // Indexed loop: the body re-borrows `states[i]` mutably on
+                // reception, which rules out a plain iterator.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n {
+                    let receiver = NodeId(i as u16);
+                    if transmitters.contains(&receiver) {
+                        continue;
+                    }
+                    let s = &states[i];
+                    if !s.participating || s.has_packet || s.off_after_slot.is_some() {
+                        continue;
+                    }
+                    let mut miss_all = 1.0;
+                    for &t in &transmitters {
+                        miss_all *= 1.0 - self.topology.link(t, receiver).prr();
+                    }
+                    let busy = self.interference.busy_fraction(
+                        slot_start,
+                        airtime.as_micros(),
+                        cfg.channel,
+                        self.topology.position(receiver),
+                    );
+                    let p = (1.0 - miss_all) * concurrency_factor * (1.0 - busy);
+                    if rng.chance(p) {
+                        let ntx = cfg.ntx.for_node(receiver);
+                        let st = &mut states[i];
+                        st.has_packet = true;
+                        st.first_rx_slot = Some(slot.min(u8::MAX as usize) as u8);
+                        st.tx_remaining = ntx;
+                        if ntx > 0 {
+                            st.next_tx_slot = Some(slot + 1);
+                        } else {
+                            // Passive receiver: radio off right after this slot.
+                            st.off_after_slot = Some(slot);
+                        }
+                    }
+                }
+            }
+
+            // Advance the transmitters' schedules.
+            for &t in &transmitters {
+                let st = &mut states[t.index()];
+                st.relays += 1;
+                st.tx_remaining -= 1;
+                if st.tx_remaining > 0 {
+                    st.next_tx_slot = Some(slot + 2);
+                } else {
+                    st.next_tx_slot = None;
+                    st.off_after_slot = Some(slot);
+                }
+            }
+        }
+
+        // Assemble per-node outcomes and radio accounting.
+        let per_node: Vec<NodeFloodOutcome> = states
+            .iter()
+            .map(|s| {
+                if !s.participating {
+                    return NodeFloodOutcome::not_participating();
+                }
+                let mut radio = RadioAccounting::new();
+                let on_time = match s.off_after_slot {
+                    Some(k) => (slot_dur * (k as u64 + 1)).min(cfg.max_slot_duration),
+                    // Never switched off: listened for the entire slot budget.
+                    None => cfg.max_slot_duration,
+                };
+                let tx_time = (airtime * s.relays as u64).min(on_time);
+                radio.record(RadioState::Tx, tx_time);
+                radio.record(RadioState::Rx, on_time.saturating_sub(tx_time));
+                NodeFloodOutcome {
+                    received: s.has_packet,
+                    first_rx_slot: s.first_rx_slot,
+                    relays: s.relays,
+                    radio,
+                    participated: true,
+                }
+            })
+            .collect();
+
+        let duration = (slot_dur * (last_active_slot as u64 + 1)).min(cfg.max_slot_duration);
+        FloodOutcome::new(initiator, per_node, duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmer_sim::NoInterference;
+
+    #[test]
+    fn reference_reaches_everyone_on_a_calm_line() {
+        let topo = Topology::line(5, 6.0, 1);
+        let sim = ReferenceFloodSimulator::new(&topo, &NoInterference);
+        let out = sim.flood(
+            &GlossyConfig::default(),
+            topo.coordinator(),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+        );
+        assert_eq!(out.reach_count(), 5);
+    }
+
+    #[test]
+    fn reference_is_deterministic_per_seed() {
+        let topo = Topology::kiel_testbed_18(10);
+        let sim = ReferenceFloodSimulator::new(&topo, &NoInterference);
+        let cfg = GlossyConfig::default();
+        let a = sim.flood(&cfg, NodeId(4), SimTime::ZERO, &mut SimRng::seed_from(77));
+        let b = sim.flood(&cfg, NodeId(4), SimTime::ZERO, &mut SimRng::seed_from(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiator must participate")]
+    fn reference_initiator_must_participate() {
+        let topo = Topology::line(3, 6.0, 1);
+        let sim = ReferenceFloodSimulator::new(&topo, &NoInterference);
+        sim.flood_with_participants(
+            &GlossyConfig::default(),
+            NodeId(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+            &[false, true, true],
+        );
+    }
+}

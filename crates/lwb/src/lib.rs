@@ -32,13 +32,13 @@
 //! let mut scheduler = LwbScheduler::new(cfg.clone());
 //! let sources: Vec<_> = topo.node_ids().collect();
 //! let schedule = scheduler.next_schedule(&sources, NtxAssignment::Uniform(3));
-//! let exec = RoundExecutor::new(&topo, &NoInterference, cfg);
+//! let mut exec = RoundExecutor::new(&topo, &NoInterference, cfg);
 //! let round = exec.run_round(&schedule, SimTime::ZERO, &mut SimRng::seed_from(3));
 //! assert!(round.broadcast_reliability() > 0.9);
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod hopping;

@@ -201,30 +201,33 @@ impl RoundOutcome {
 }
 
 /// Executes LWB rounds over a topology and interference environment.
+///
+/// Construction compiles the topology once (see
+/// [`FloodSimulator::new`]) and allocates the reusable flood workspace;
+/// every round executed afterwards reuses both, which is why
+/// [`run_round`](Self::run_round) takes `&mut self`.
 #[derive(Debug)]
 pub struct RoundExecutor<'a> {
-    topology: &'a Topology,
-    interference: &'a dyn InterferenceModel,
+    flood: FloodSimulator<'a>,
     config: LwbConfig,
 }
 
 impl<'a> RoundExecutor<'a> {
-    /// Creates a round executor.
+    /// Creates a round executor, compiling `topology` for the flood kernel.
     pub fn new(
         topology: &'a Topology,
         interference: &'a dyn InterferenceModel,
         config: LwbConfig,
     ) -> Self {
         RoundExecutor {
-            topology,
-            interference,
+            flood: FloodSimulator::new(topology, interference),
             config,
         }
     }
 
     /// The topology rounds are executed over.
     pub fn topology(&self) -> &Topology {
-        self.topology
+        self.flood.topology()
     }
 
     /// The LWB configuration.
@@ -237,9 +240,14 @@ impl<'a> RoundExecutor<'a> {
     const CONTROL_MIN_NTX: u8 = 3;
 
     /// Runs one round according to `schedule`, starting at `start`.
-    pub fn run_round(&self, schedule: &Schedule, start: SimTime, rng: &mut SimRng) -> RoundOutcome {
-        let n = self.topology.num_nodes();
-        let flood_sim = FloodSimulator::new(self.topology, self.interference);
+    pub fn run_round(
+        &mut self,
+        schedule: &Schedule,
+        start: SimTime,
+        rng: &mut SimRng,
+    ) -> RoundOutcome {
+        let n = self.topology().num_nodes();
+        let coordinator = self.topology().coordinator();
         let slot_advance = self.config.slot_duration + self.config.slot_gap;
 
         // Control slot: every node listens for the schedule on channel 26.
@@ -252,8 +260,19 @@ impl<'a> RoundExecutor<'a> {
             channel: self.config.hopping.control_channel(),
             ..GlossyConfig::default()
         };
-        let control = flood_sim.flood(&control_cfg, self.topology.coordinator(), start, rng);
+        let control = self.flood.flood(&control_cfg, coordinator, start, rng);
         let synced: Vec<bool> = (0..n).map(|i| control.received(NodeId(i as u16))).collect();
+
+        // One data-slot config for the whole round: only the channel varies
+        // per slot, so the N_TX assignment (a heap-backed `Vec` in the
+        // per-node case) is cloned once per round instead of once per slot.
+        let mut data_cfg = GlossyConfig {
+            ntx: schedule.ntx().clone(),
+            max_slot_duration: self.config.slot_duration,
+            payload_bytes: self.config.payload_bytes,
+            channel: self.config.hopping.control_channel(),
+            ..GlossyConfig::default()
+        };
 
         // Data slots.
         let mut data = Vec::with_capacity(schedule.num_data_slots());
@@ -270,14 +289,9 @@ impl<'a> RoundExecutor<'a> {
             };
 
             let flood = if synced[source.index()] {
-                let cfg = GlossyConfig {
-                    ntx: schedule.ntx().clone(),
-                    max_slot_duration: self.config.slot_duration,
-                    payload_bytes: self.config.payload_bytes,
-                    channel,
-                    ..GlossyConfig::default()
-                };
-                flood_sim.flood_with_participants(&cfg, source, slot_start, rng, &synced)
+                data_cfg.channel = channel;
+                self.flood
+                    .flood_with_participants(&data_cfg, source, slot_start, rng, &synced)
             } else {
                 // The source missed the schedule: nobody transmits, synced
                 // nodes listen for the full slot in vain.
@@ -336,7 +350,7 @@ mod tests {
         let mut scheduler = LwbScheduler::new(cfg.clone());
         let sources: Vec<NodeId> = topo.node_ids().collect();
         let schedule = scheduler.next_schedule(&sources, NtxAssignment::Uniform(ntx));
-        let exec = RoundExecutor::new(&topo, interference, cfg);
+        let mut exec = RoundExecutor::new(&topo, interference, cfg);
         exec.run_round(&schedule, SimTime::ZERO, &mut SimRng::seed_from(seed))
     }
 
@@ -396,7 +410,7 @@ mod tests {
         let mut scheduler = LwbScheduler::new(cfg.clone());
         let sources: Vec<NodeId> = topo.node_ids().collect();
         let schedule = scheduler.next_schedule(&sources, NtxAssignment::Uniform(3));
-        let exec = RoundExecutor::new(&topo, &jammer, cfg);
+        let mut exec = RoundExecutor::new(&topo, &jammer, cfg);
         let round = exec.run_round(&schedule, SimTime::ZERO, &mut SimRng::seed_from(17));
         let mut saw_unsynced_source = false;
         for slot in round.data_slots() {
@@ -447,7 +461,7 @@ mod tests {
         let mut scheduler = LwbScheduler::new(cfg.clone());
         let sources = vec![NodeId(40), NodeId(45), NodeId(47)];
         let schedule = scheduler.next_schedule(&sources, NtxAssignment::Uniform(3));
-        let exec = RoundExecutor::new(&topo, &NoInterference, cfg);
+        let mut exec = RoundExecutor::new(&topo, &NoInterference, cfg);
         let round = exec.run_round(&schedule, SimTime::ZERO, &mut SimRng::seed_from(8));
         assert!(round.sink_reliability(NodeId(0)) > 0.6);
         assert_eq!(round.data_slots().len(), 3);
@@ -465,7 +479,7 @@ mod tests {
         let topo = Topology::kiel_testbed_18(1);
         let cfg = LwbConfig::testbed_default();
         let schedule = Schedule::new(0, vec![], NtxAssignment::Uniform(3));
-        let exec = RoundExecutor::new(&topo, &NoInterference, cfg);
+        let mut exec = RoundExecutor::new(&topo, &NoInterference, cfg);
         let round = exec.run_round(&schedule, SimTime::ZERO, &mut SimRng::seed_from(1));
         assert_eq!(round.broadcast_reliability(), 1.0);
         assert_eq!(round.mean_radio_on_per_slot(), SimDuration::ZERO);

@@ -1,0 +1,497 @@
+//! A flood-kernel-friendly, structure-of-arrays view of a [`Topology`].
+//!
+//! [`Topology`] is the *construction* representation: positions, a dense
+//! [`LinkQuality`](crate::link::LinkQuality) matrix and convenience queries (BFS, neighbor filters).
+//! The per-round hot path — thousands of Glossy floods per experiment cell —
+//! needs something flatter. [`CompiledTopology`] is that view, compiled once
+//! per trial:
+//!
+//! * a dense row-major `f64` PRR matrix (no `LinkQuality` wrapper, no
+//!   bounds-check branches in the kernel loops),
+//! * a CSR-style adjacency (`row_ptr` / `col_idx` / `link_prr`) holding, per
+//!   node, only the outgoing links that can actually change a reception
+//!   probability, sorted by destination id,
+//! * a quality bucket (`0..QUALITY_BUCKETS`) per stored link, so dashboards
+//!   and benchmarks can summarize link distributions without re-deriving
+//!   them from floats.
+//!
+//! The CSR drops a link `(i, j)` only when its PRR is so small that
+//! `1.0 - prr == 1.0` in `f64` — i.e. when multiplying a miss-probability
+//! product by `1.0 - prr` is a bitwise no-op. This is what lets the
+//! optimized flood kernel in `dimmer-glossy` skip negligible links while
+//! staying **bit-identical** to the dense reference implementation.
+
+use crate::topology::{NodeId, Position, Topology};
+
+/// Number of link-quality buckets exposed by [`CompiledTopology`].
+pub const QUALITY_BUCKETS: usize = 10;
+
+/// One stored (outgoing) link of a [`CompiledTopology`] node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledLink {
+    /// Destination node.
+    pub to: NodeId,
+    /// Packet reception ratio of the link, in `(0, 1]`.
+    pub prr: f64,
+    /// Quality bucket of the link (`0..QUALITY_BUCKETS`).
+    pub bucket: u8,
+}
+
+/// A structure-of-arrays topology compiled for the flood hot path.
+///
+/// Construct it with [`CompiledTopology::compile`] (from a [`Topology`]) or
+/// [`CompiledTopology::from_prr_matrix`] (from a raw, possibly asymmetric
+/// PRR matrix). Compilation is `O(n²)` and meant to happen once per trial;
+/// every per-slot kernel query is then branch- and allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_sim::{CompiledTopology, NodeId, Topology};
+/// let topo = Topology::line(4, 8.0, 1);
+/// let compiled = CompiledTopology::compile(&topo);
+/// assert_eq!(compiled.num_nodes(), 4);
+/// // Dense lookups agree with the source topology...
+/// assert_eq!(compiled.prr(NodeId(0), NodeId(1)), topo.link(NodeId(0), NodeId(1)).prr());
+/// // ...and the CSR only stores links that can affect a reception.
+/// assert!(compiled.out_degree(NodeId(0)) <= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTopology {
+    num_nodes: usize,
+    coordinator: NodeId,
+    positions: Vec<Position>,
+    /// Dense row-major `num_nodes × num_nodes` PRR matrix; diagonal is 0.
+    prr: Vec<f64>,
+    /// CSR row offsets into `col_idx` / `link_prr` / `link_bucket`.
+    row_ptr: Vec<u32>,
+    /// CSR destination ids, ascending within each row.
+    col_idx: Vec<u16>,
+    /// CSR link PRRs, parallel to `col_idx`.
+    link_prr: Vec<f64>,
+    /// CSR link quality buckets, parallel to `col_idx`.
+    link_bucket: Vec<u8>,
+    /// Dense *transposed* miss-factor matrix: `miss_factor[r * n + t]`
+    /// is `1.0 - prr(t → r)`, so a receiver's factors over all
+    /// transmitters are contiguous.
+    miss_factor: Vec<f64>,
+    /// In-link CSR row offsets into `in_col_idx` / `in_factor`.
+    in_row_ptr: Vec<u32>,
+    /// In-link CSR source ids, ascending within each row.
+    in_col_idx: Vec<u16>,
+    /// In-link CSR miss factors (`1.0 - prr(source → row node)`).
+    in_factor: Vec<f64>,
+}
+
+impl CompiledTopology {
+    /// Returns `true` if a link with this PRR can change a miss-probability
+    /// product in `f64` arithmetic (i.e. `1.0 - prr != 1.0`).
+    ///
+    /// Links failing this test are dropped from the CSR: multiplying by
+    /// `1.0 - prr` would round back to the untouched product bit-for-bit,
+    /// so skipping them cannot change any simulated outcome.
+    pub fn link_matters(prr: f64) -> bool {
+        1.0 - prr != 1.0
+    }
+
+    /// The quality bucket (`0..QUALITY_BUCKETS`) of a PRR value.
+    ///
+    /// Buckets are uniform in PRR: bucket `b` covers
+    /// `[b/QUALITY_BUCKETS, (b+1)/QUALITY_BUCKETS)`, with `prr = 1.0`
+    /// folded into the top bucket.
+    pub fn quality_bucket(prr: f64) -> u8 {
+        ((prr.clamp(0.0, 1.0) * QUALITY_BUCKETS as f64) as usize).min(QUALITY_BUCKETS - 1) as u8
+    }
+
+    /// Compiles a [`Topology`] into the structure-of-arrays form.
+    pub fn compile(topology: &Topology) -> Self {
+        let n = topology.num_nodes();
+        let mut prr = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prr[i * n + j] = topology.link(NodeId(i as u16), NodeId(j as u16)).prr();
+                }
+            }
+        }
+        let positions = topology
+            .node_ids()
+            .map(|id| topology.position(id))
+            .collect();
+        Self::from_parts(positions, topology.coordinator(), prr)
+    }
+
+    /// Builds a compiled topology from a raw row-major PRR matrix.
+    ///
+    /// Unlike [`Topology`], the matrix may be *asymmetric*
+    /// (`prr[i][j] != prr[j][i]`); the CSR stores outgoing links per row, so
+    /// directional deployments compile correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `n × n` for `n = positions.len()`, if
+    /// `n < 1`, if the coordinator is out of range, or if any entry is
+    /// outside `[0, 1]`.
+    pub fn from_prr_matrix(positions: Vec<Position>, coordinator: NodeId, prr: Vec<f64>) -> Self {
+        let n = positions.len();
+        assert!(n >= 1, "a compiled topology needs at least one node");
+        assert_eq!(prr.len(), n * n, "PRR matrix must be n x n");
+        assert!(
+            coordinator.index() < n,
+            "coordinator must be one of the nodes"
+        );
+        assert!(
+            prr.iter().all(|p| (0.0..=1.0).contains(p)),
+            "PRR entries must be in [0, 1]"
+        );
+        Self::from_parts(positions, coordinator, prr)
+    }
+
+    fn from_parts(positions: Vec<Position>, coordinator: NodeId, prr: Vec<f64>) -> Self {
+        let n = positions.len();
+        assert!(
+            n <= u16::MAX as usize + 1,
+            "compiled topologies support at most 65536 nodes"
+        );
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut link_prr = Vec::new();
+        let mut link_bucket = Vec::new();
+        row_ptr.push(0u32);
+        for i in 0..n {
+            for j in 0..n {
+                let p = prr[i * n + j];
+                if i != j && Self::link_matters(p) {
+                    col_idx.push(j as u16);
+                    link_prr.push(p);
+                    link_bucket.push(Self::quality_bucket(p));
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        // Transposed dense miss factors and the in-link CSR: the flood
+        // kernel gathers per *receiver*, so its factors must be contiguous
+        // per receiver (and its sparse rows keyed by incoming links).
+        let mut miss_factor = vec![1.0; n * n];
+        let mut in_row_ptr = Vec::with_capacity(n + 1);
+        let mut in_col_idx = Vec::new();
+        let mut in_factor = Vec::new();
+        in_row_ptr.push(0u32);
+        for r in 0..n {
+            for t in 0..n {
+                let p = prr[t * n + r];
+                miss_factor[r * n + t] = 1.0 - p;
+                if t != r && Self::link_matters(p) {
+                    in_col_idx.push(t as u16);
+                    in_factor.push(1.0 - p);
+                }
+            }
+            in_row_ptr.push(in_col_idx.len() as u32);
+        }
+        CompiledTopology {
+            num_nodes: n,
+            coordinator,
+            positions,
+            prr,
+            row_ptr,
+            col_idx,
+            link_prr,
+            link_bucket,
+            miss_factor,
+            in_row_ptr,
+            in_col_idx,
+            in_factor,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The coordinator / LWB host node.
+    pub fn coordinator(&self) -> NodeId {
+        self.coordinator
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// All node positions, indexed by node id.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Dense PRR lookup (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn prr(&self, from: NodeId, to: NodeId) -> f64 {
+        self.prr[from.index() * self.num_nodes + to.index()]
+    }
+
+    /// Number of links stored in the CSR (over all nodes).
+    pub fn num_links(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of stored outgoing links of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize
+    }
+
+    /// The raw CSR slices (`destinations`, `prrs`) of one node's outgoing
+    /// links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn neighbor_slices(&self, node: usize) -> (&[u16], &[f64]) {
+        let lo = self.row_ptr[node] as usize;
+        let hi = self.row_ptr[node + 1] as usize;
+        (&self.col_idx[lo..hi], &self.link_prr[lo..hi])
+    }
+
+    /// Number of stored *incoming* links of `node` (sources that can reach
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.in_row_ptr[i + 1] - self.in_row_ptr[i]) as usize
+    }
+
+    /// The raw in-link CSR slices (`sources`, `miss factors`) of one node —
+    /// sources ascending, factors being `1.0 - prr(source → node)`. This is
+    /// the sparse gather path of the flood kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn in_neighbor_slices(&self, node: usize) -> (&[u16], &[f64]) {
+        let lo = self.in_row_ptr[node] as usize;
+        let hi = self.in_row_ptr[node + 1] as usize;
+        (&self.in_col_idx[lo..hi], &self.in_factor[lo..hi])
+    }
+
+    /// One receiver's dense miss-factor row: element `t` is
+    /// `1.0 - prr(t → node)` (and `1.0` on the diagonal). This is the dense
+    /// gather path of the flood kernel, contiguous per receiver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn miss_factor_row(&self, node: usize) -> &[f64] {
+        &self.miss_factor[node * self.num_nodes..(node + 1) * self.num_nodes]
+    }
+
+    /// Iterator over one node's stored outgoing links, ascending by
+    /// destination id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = CompiledLink> + '_ {
+        let lo = self.row_ptr[node.index()] as usize;
+        let hi = self.row_ptr[node.index() + 1] as usize;
+        (lo..hi).map(move |k| CompiledLink {
+            to: NodeId(self.col_idx[k]),
+            prr: self.link_prr[k],
+            bucket: self.link_bucket[k],
+        })
+    }
+
+    /// Histogram of stored links per quality bucket.
+    pub fn bucket_histogram(&self) -> [usize; QUALITY_BUCKETS] {
+        let mut hist = [0usize; QUALITY_BUCKETS];
+        for &b in &self.link_bucket {
+            hist[b as usize] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_matches_dense_topology() {
+        let topo = Topology::kiel_testbed_18(7);
+        let c = CompiledTopology::compile(&topo);
+        assert_eq!(c.num_nodes(), 18);
+        assert_eq!(c.coordinator(), topo.coordinator());
+        for i in topo.node_ids() {
+            assert_eq!(c.position(i), topo.position(i));
+            for j in topo.node_ids() {
+                assert_eq!(c.prr(i, j), topo.link(i, j).prr());
+            }
+        }
+    }
+
+    #[test]
+    fn csr_rows_are_ascending_and_cover_material_links() {
+        let topo = Topology::dcube_48(3);
+        let c = CompiledTopology::compile(&topo);
+        for i in topo.node_ids() {
+            let links: Vec<CompiledLink> = c.neighbors(i).collect();
+            // Ascending destination ids, no self link.
+            for w in links.windows(2) {
+                assert!(w[0].to < w[1].to);
+            }
+            assert!(links.iter().all(|l| l.to != i));
+            // Exactly the links whose PRR can change a miss product.
+            let expected = topo
+                .node_ids()
+                .filter(|&j| j != i && CompiledTopology::link_matters(topo.link(i, j).prr()))
+                .count();
+            assert_eq!(links.len(), expected);
+            assert_eq!(c.out_degree(i), expected);
+        }
+    }
+
+    #[test]
+    fn in_links_mirror_the_transposed_matrix() {
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(1.0, 0.0),
+            Position::new(2.0, 0.0),
+        ];
+        // Asymmetric: 0→1 strong, 1→0 absent, 2→1 weak, everything else 0.
+        let mut prr = vec![0.0; 9];
+        prr[1] = 0.9; // 0 -> 1
+        prr[2 * 3 + 1] = 0.2; // 2 -> 1
+        let c = CompiledTopology::from_prr_matrix(positions, NodeId(0), prr);
+        assert_eq!(c.in_degree(NodeId(1)), 2);
+        assert_eq!(c.in_degree(NodeId(0)), 0);
+        let (sources, factors) = c.in_neighbor_slices(1);
+        assert_eq!(sources, &[0, 2]);
+        assert_eq!(factors, &[1.0 - 0.9, 1.0 - 0.2]);
+        let row = c.miss_factor_row(1);
+        assert_eq!(row, &[1.0 - 0.9, 1.0, 1.0 - 0.2]);
+    }
+
+    #[test]
+    fn dense_and_sparse_gather_views_agree() {
+        let topo = Topology::kiel_testbed_18(9);
+        let c = CompiledTopology::compile(&topo);
+        for r in topo.node_ids() {
+            let row = c.miss_factor_row(r.index());
+            for t in topo.node_ids() {
+                assert_eq!(row[t.index()], 1.0 - c.prr(t, r));
+            }
+            let (sources, factors) = c.in_neighbor_slices(r.index());
+            for (&t, &f) in sources.iter().zip(factors) {
+                assert_eq!(f, row[t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_gets_an_empty_csr_row() {
+        // Two clusters 10 km apart: the far node's links round to a
+        // miss-probability no-op and vanish from the CSR.
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(3.0, 0.0),
+            Position::new(10_000.0, 0.0),
+        ];
+        let n = positions.len();
+        let model = crate::link::PathLossModel::indoor_office();
+        let mut prr = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prr[i * n + j] = model.prr(positions[i], positions[j], 0.0);
+                }
+            }
+        }
+        let c = CompiledTopology::from_prr_matrix(positions, NodeId(0), prr);
+        assert_eq!(c.out_degree(NodeId(2)), 0, "far node must be isolated");
+        assert!(c.out_degree(NodeId(0)) >= 1);
+        assert_eq!(c.neighbors(NodeId(2)).count(), 0);
+    }
+
+    #[test]
+    fn asymmetric_matrix_compiles_directionally() {
+        let positions = vec![Position::new(0.0, 0.0), Position::new(1.0, 0.0)];
+        // 0 -> 1 is a good link, 1 -> 0 does not exist.
+        let prr = vec![0.0, 0.9, 0.0, 0.0];
+        let c = CompiledTopology::from_prr_matrix(positions, NodeId(0), prr);
+        assert_eq!(c.out_degree(NodeId(0)), 1);
+        assert_eq!(c.out_degree(NodeId(1)), 0);
+        assert_eq!(c.prr(NodeId(0), NodeId(1)), 0.9);
+        assert_eq!(c.prr(NodeId(1), NodeId(0)), 0.0);
+        let link = c.neighbors(NodeId(0)).next().unwrap();
+        assert_eq!(link.to, NodeId(1));
+        assert_eq!(link.prr, 0.9);
+    }
+
+    #[test]
+    fn link_matters_is_the_bitwise_no_op_criterion() {
+        assert!(!CompiledTopology::link_matters(0.0));
+        // Below half an ULP of 1.0 the subtraction rounds back to 1.0.
+        assert!(!CompiledTopology::link_matters(1e-17));
+        assert!(CompiledTopology::link_matters(1e-15));
+        assert!(CompiledTopology::link_matters(0.5));
+        assert!(CompiledTopology::link_matters(1.0));
+    }
+
+    #[test]
+    fn quality_buckets_are_monotone_and_bounded() {
+        let mut last = 0u8;
+        for k in 0..=100 {
+            let b = CompiledTopology::quality_bucket(k as f64 / 100.0);
+            assert!((b as usize) < QUALITY_BUCKETS);
+            assert!(b >= last);
+            last = b;
+        }
+        assert_eq!(CompiledTopology::quality_bucket(0.0), 0);
+        assert_eq!(
+            CompiledTopology::quality_bucket(1.0) as usize,
+            QUALITY_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn bucket_histogram_counts_every_stored_link() {
+        let topo = Topology::kiel_testbed_18(1);
+        let c = CompiledTopology::compile(&topo);
+        let hist = c.bucket_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), c.num_links());
+        assert!(c.num_links() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be n x n")]
+    fn from_prr_matrix_rejects_wrong_shape() {
+        CompiledTopology::from_prr_matrix(
+            vec![Position::new(0.0, 0.0), Position::new(1.0, 0.0)],
+            NodeId(0),
+            vec![0.0; 3],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinator must be one of the nodes")]
+    fn from_prr_matrix_rejects_bad_coordinator() {
+        CompiledTopology::from_prr_matrix(vec![Position::new(0.0, 0.0)], NodeId(3), vec![0.0]);
+    }
+}

@@ -49,6 +49,65 @@ pub trait InterferenceModel: Debug {
     fn is_active(&self, _t: SimTime) -> bool {
         true
     }
+
+    /// Returns `true` if [`busy_fraction`](Self::busy_fraction) is `0.0` for
+    /// *every* possible query — i.e. the model never corrupts anything.
+    ///
+    /// The optimized flood kernel uses this to skip the per-receiver
+    /// interference lookup on calm scenarios entirely; because the skipped
+    /// calls would all have returned exactly `0.0`, the shortcut is
+    /// bit-identical to querying the model. The conservative default is
+    /// `false`.
+    fn is_always_idle(&self) -> bool {
+        false
+    }
+
+    /// Compiles the model into a per-node *interference mask* evaluator for
+    /// a fixed set of receiver positions, or `None` if the model has no
+    /// fast path (callers then fall back to per-receiver
+    /// [`busy_fraction`](Self::busy_fraction) calls).
+    ///
+    /// The returned [`SlotInterference`] hoists everything
+    /// position-dependent but time-independent (e.g. a jammer's distance
+    /// roll-off) out of the per-slot loop: one call fills the busy fraction
+    /// of *every* node for a slot, and is required to be **bitwise
+    /// identical** to calling `busy_fraction` once per position.
+    fn compile_for(&self, _positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
+        None
+    }
+
+    /// Specialization hook: returns `Some` when the model is a single
+    /// [`PeriodicJammer`]. [`CompositeInterference::compile_for`] uses it to
+    /// fuse an all-jammer composite (the paper's standard interference
+    /// shape) into a single-pass bank instead of chaining generic
+    /// evaluators. The default is `None`.
+    fn as_periodic_jammer(&self) -> Option<&PeriodicJammer> {
+        None
+    }
+}
+
+/// A compiled per-slot interference evaluator over a fixed node set — the
+/// "interference mask" companion of a compiled topology.
+///
+/// Obtained from [`InterferenceModel::compile_for`]. Implementations may
+/// keep internal scratch (hence `&mut self`) but must stay deterministic:
+/// `busy_for_slot` filling `out[i]` must equal
+/// `busy_fraction(start, duration_us, channel, positions[i])` bit-for-bit
+/// for the positions the evaluator was compiled for.
+pub trait SlotInterference: Debug {
+    /// Fills `out[i]` with the busy fraction node `i` observes during
+    /// `[start, start + duration_us)` on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `out` is shorter than the compiled position set.
+    fn busy_for_slot(
+        &mut self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        out: &mut [f64],
+    );
 }
 
 /// The absence of interference.
@@ -69,6 +128,26 @@ impl InterferenceModel for NoInterference {
     }
     fn is_active(&self, _: SimTime) -> bool {
         false
+    }
+    fn is_always_idle(&self) -> bool {
+        true
+    }
+    fn compile_for(&self, positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
+        Some(Box::new(CompiledNoInterference {
+            nodes: positions.len(),
+        }))
+    }
+}
+
+/// Compiled form of [`NoInterference`]: fills zeros.
+#[derive(Debug)]
+struct CompiledNoInterference {
+    nodes: usize,
+}
+
+impl SlotInterference for CompiledNoInterference {
+    fn busy_for_slot(&mut self, _: SimTime, _: u64, _: Channel, out: &mut [f64]) {
+        out[..self.nodes].fill(0.0);
     }
 }
 
@@ -248,6 +327,55 @@ impl InterferenceModel for PeriodicJammer {
         let overlap = self.burst_overlap_fraction(start, duration_us);
         (overlap * self.strength_at(at)).clamp(0.0, 1.0)
     }
+
+    fn compile_for(&self, positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
+        Some(Box::new(CompiledJammer {
+            jammer: self.clone(),
+            // Hoist the distance roll-off (sqrt + powi per receiver) out of
+            // the slot loop; `strength_at` is time-independent.
+            strengths: positions.iter().map(|&p| self.strength_at(p)).collect(),
+        }))
+    }
+
+    fn as_periodic_jammer(&self) -> Option<&PeriodicJammer> {
+        Some(self)
+    }
+}
+
+/// Compiled form of [`PeriodicJammer`]: per-node strengths precomputed, one
+/// burst-overlap evaluation per slot.
+#[derive(Debug)]
+struct CompiledJammer {
+    jammer: PeriodicJammer,
+    strengths: Vec<f64>,
+}
+
+impl SlotInterference for CompiledJammer {
+    fn busy_for_slot(
+        &mut self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        out: &mut [f64],
+    ) {
+        let n = self.strengths.len();
+        if !self.jammer.affects_channel(channel) {
+            out[..n].fill(0.0);
+            return;
+        }
+        let overlap = self.jammer.burst_overlap_fraction(start, duration_us);
+        if overlap == 0.0 {
+            // Slot entirely in the silent part of the period:
+            // `(0.0 * s).clamp(0.0, 1.0)` is exactly 0 for every node.
+            out[..n].fill(0.0);
+            return;
+        }
+        for (o, &s) in out[..n].iter_mut().zip(&self.strengths) {
+            // Same expression as `busy_fraction`, with `strength_at`
+            // replaced by its cached (identical) value.
+            *o = (overlap * s).clamp(0.0, 1.0);
+        }
+    }
 }
 
 /// Intensity of the D-Cube WiFi interference scenario.
@@ -331,6 +459,10 @@ impl WifiInterference {
 }
 
 impl InterferenceModel for WifiInterference {
+    fn compile_for(&self, positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
+        Some(self.compile_wifi(positions))
+    }
+
     fn busy_fraction(
         &self,
         start: SimTime,
@@ -360,6 +492,39 @@ impl InterferenceModel for WifiInterference {
             f += 1;
         }
         covered as f64 / duration_us as f64
+    }
+}
+
+impl WifiInterference {
+    /// Wide-band WiFi is position-independent, so the compiled form
+    /// evaluates the frame pattern once per slot and broadcasts it.
+    fn compile_wifi(&self, positions: &[Position]) -> Box<dyn SlotInterference> {
+        Box::new(CompiledWifi {
+            wifi: self.clone(),
+            nodes: positions.len(),
+        })
+    }
+}
+
+/// Compiled form of [`WifiInterference`].
+#[derive(Debug)]
+struct CompiledWifi {
+    wifi: WifiInterference,
+    nodes: usize,
+}
+
+impl SlotInterference for CompiledWifi {
+    fn busy_for_slot(
+        &mut self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        out: &mut [f64],
+    ) {
+        let f = self
+            .wifi
+            .busy_fraction(start, duration_us, channel, Position::new(0.0, 0.0));
+        out[..self.nodes].fill(f);
     }
 }
 
@@ -418,6 +583,120 @@ impl InterferenceModel for CompositeInterference {
 
     fn is_active(&self, t: SimTime) -> bool {
         self.sources.iter().any(|s| s.is_active(t))
+    }
+
+    fn is_always_idle(&self) -> bool {
+        self.sources.iter().all(|s| s.is_always_idle())
+    }
+
+    fn compile_for(&self, positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
+        // Fast path: a composite of pure jammers (the paper's testbed
+        // interference) fuses into a single-pass bank.
+        if !self.sources.is_empty() {
+            let jammers: Option<Vec<&PeriodicJammer>> = self
+                .sources
+                .iter()
+                .map(|s| s.as_periodic_jammer())
+                .collect();
+            if let Some(jammers) = jammers {
+                let nodes = positions.len();
+                let mut strengths = Vec::with_capacity(jammers.len() * nodes);
+                for j in &jammers {
+                    strengths.extend(positions.iter().map(|&p| j.strength_at(p)));
+                }
+                return Some(Box::new(CompiledJammerBank {
+                    jammers: jammers.into_iter().cloned().collect(),
+                    strengths,
+                    nodes,
+                }));
+            }
+        }
+        // Generic path: compiles only if every member compiles; member
+        // order is preserved so the per-node combination multiplies the
+        // same factors in the same sequence as `busy_fraction`.
+        let members: Option<Vec<_>> = self
+            .sources
+            .iter()
+            .map(|s| s.compile_for(positions))
+            .collect();
+        Some(Box::new(CompiledComposite {
+            members: members?,
+            scratch: vec![0.0; positions.len()],
+        }))
+    }
+}
+
+/// Fused compiled form of a [`CompositeInterference`] whose members are all
+/// [`PeriodicJammer`]s: one burst-overlap evaluation per jammer per slot,
+/// then a single pass per node combining the cached strengths.
+#[derive(Debug)]
+struct CompiledJammerBank {
+    jammers: Vec<PeriodicJammer>,
+    /// Row-major `jammers × nodes` cached `strength_at` values.
+    strengths: Vec<f64>,
+    nodes: usize,
+}
+
+impl SlotInterference for CompiledJammerBank {
+    fn busy_for_slot(
+        &mut self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        out: &mut [f64],
+    ) {
+        let n = self.nodes;
+        out[..n].fill(1.0);
+        for (k, j) in self.jammers.iter().enumerate() {
+            // A channel-gated or currently-silent jammer contributes
+            // `1 - 0.clamp() = 1`, a bitwise no-op on the clear product —
+            // skip it.
+            if !j.affects_channel(channel) {
+                continue;
+            }
+            let overlap = j.burst_overlap_fraction(start, duration_us);
+            if overlap == 0.0 {
+                continue;
+            }
+            let row = &self.strengths[k * n..(k + 1) * n];
+            for (o, &s) in out[..n].iter_mut().zip(row) {
+                *o *= 1.0 - (overlap * s).clamp(0.0, 1.0);
+            }
+        }
+        for o in out[..n].iter_mut() {
+            *o = 1.0 - *o;
+        }
+    }
+}
+
+/// Compiled form of [`CompositeInterference`].
+#[derive(Debug)]
+struct CompiledComposite {
+    members: Vec<Box<dyn SlotInterference>>,
+    scratch: Vec<f64>,
+}
+
+impl SlotInterference for CompiledComposite {
+    fn busy_for_slot(
+        &mut self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        out: &mut [f64],
+    ) {
+        let n = self.scratch.len();
+        // `out` accumulates the clear probability, then flips at the end —
+        // per node this is exactly the fold `busy_fraction` computes.
+        out[..n].fill(1.0);
+        for member in &mut self.members {
+            member.busy_for_slot(start, duration_us, channel, &mut self.scratch);
+            for (o, &f) in out[..n].iter_mut().zip(&self.scratch) {
+                *o *= 1.0 - f.clamp(0.0, 1.0);
+            }
+        }
+        for o in out[..n].iter_mut() {
+            *o = 1.0 - *o;
+        }
     }
 }
 
@@ -504,6 +783,60 @@ impl InterferenceModel for ScheduledInterference {
             .iter()
             .any(|(from, until, s)| t >= *from && t < *until && s.is_active(t))
     }
+
+    fn is_always_idle(&self) -> bool {
+        self.windows.iter().all(|(_, _, s)| s.is_always_idle())
+    }
+
+    fn compile_for(&self, positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
+        let windows: Option<Vec<_>> = self
+            .windows
+            .iter()
+            .map(|(from, until, s)| s.compile_for(positions).map(|c| (*from, *until, c)))
+            .collect();
+        Some(Box::new(CompiledScheduled {
+            windows: windows?,
+            scratch: vec![0.0; positions.len()],
+        }))
+    }
+}
+
+/// Compiled form of [`ScheduledInterference`].
+#[derive(Debug)]
+struct CompiledScheduled {
+    windows: Vec<(SimTime, SimTime, Box<dyn SlotInterference>)>,
+    scratch: Vec<f64>,
+}
+
+impl SlotInterference for CompiledScheduled {
+    fn busy_for_slot(
+        &mut self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        out: &mut [f64],
+    ) {
+        let n = self.scratch.len();
+        let end = start + SimDuration::from_micros(duration_us);
+        out[..n].fill(1.0);
+        for (from, until, member) in &mut self.windows {
+            // Clip the query interval to the window (as `busy_fraction`).
+            let lo = start.max(*from);
+            let hi = end.min(*until);
+            if hi <= lo {
+                continue;
+            }
+            let clipped_us = (hi - lo).as_micros();
+            let scale = clipped_us as f64 / duration_us.max(1) as f64;
+            member.busy_for_slot(lo, clipped_us, channel, &mut self.scratch);
+            for (o, &f) in out[..n].iter_mut().zip(&self.scratch) {
+                *o *= 1.0 - (f * scale).clamp(0.0, 1.0);
+            }
+        }
+        for o in out[..n].iter_mut() {
+            *o = 1.0 - *o;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +856,70 @@ mod tests {
             0.0
         );
         assert!(!n.is_active(SimTime::ZERO));
+    }
+
+    #[test]
+    fn always_idle_classifies_models_correctly() {
+        assert!(NoInterference.is_always_idle());
+        assert!(!PeriodicJammer::with_duty_cycle(here(), 0.3).is_always_idle());
+        assert!(!WifiInterference::new(WifiLevel::Level1, 1).is_always_idle());
+        // Composites and schedules are idle exactly when all members are.
+        let mut comp = CompositeInterference::new();
+        assert!(comp.is_always_idle());
+        comp.push(Box::new(NoInterference));
+        assert!(comp.is_always_idle());
+        comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 0.2)));
+        assert!(!comp.is_always_idle());
+        let mut sched = ScheduledInterference::new();
+        assert!(sched.is_always_idle());
+        sched.add_window(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            Box::new(PeriodicJammer::with_duty_cycle(here(), 0.2)),
+        );
+        assert!(!sched.is_always_idle());
+    }
+
+    #[test]
+    fn compiled_masks_match_busy_fraction_bitwise() {
+        let positions: Vec<Position> = (0..12)
+            .map(|i| Position::new(i as f64 * 2.5, (i % 4) as f64 * 3.0))
+            .collect();
+        let jam = PeriodicJammer::with_duty_cycle(here(), 0.3).on_channels(vec![Channel::CONTROL]);
+        let wifi = WifiInterference::new(WifiLevel::Level2, 7);
+        let mut comp = CompositeInterference::new();
+        comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 0.25)));
+        comp.push(Box::new(WifiInterference::new(WifiLevel::Level1, 3)));
+        let mut sched = ScheduledInterference::new();
+        sched.add_window(
+            SimTime::from_millis(10),
+            SimTime::from_millis(60),
+            Box::new(PeriodicJammer::with_duty_cycle(here(), 0.5)),
+        );
+        let models: [&dyn InterferenceModel; 5] = [&NoInterference, &jam, &wifi, &comp, &sched];
+        for model in models {
+            let mut compiled = model
+                .compile_for(&positions)
+                .expect("all built-in models compile");
+            let mut out = vec![0.0; positions.len()];
+            for (start_ms, dur, ch) in [
+                (0u64, 1_372u64, Channel::CONTROL),
+                (15, 20_000, Channel::CONTROL),
+                (40, 5_000, Channel::new(15).unwrap()),
+                (123, 43_000, Channel::new(20).unwrap()),
+            ] {
+                let start = SimTime::from_millis(start_ms);
+                compiled.busy_for_slot(start, dur, ch, &mut out);
+                for (i, &p) in positions.iter().enumerate() {
+                    let expected = model.busy_fraction(start, dur, ch, p);
+                    assert!(
+                        out[i] == expected,
+                        "mask diverged: {model:?} node {i} at {start_ms} ms ({} vs {expected})",
+                        out[i]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

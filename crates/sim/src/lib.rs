@@ -11,7 +11,9 @@
 //! * **topology** — node positions and pairwise link qualities derived from a
 //!   log-distance path-loss model ([`Topology`], [`Position`], [`NodeId`]),
 //!   including the two deployments evaluated in the paper (an 18-node 3-hop
-//!   office testbed and the 48-node D-Cube testbed),
+//!   office testbed and the 48-node D-Cube testbed), plus the
+//!   structure-of-arrays [`CompiledTopology`] view (CSR adjacency, dense PRR
+//!   matrix, quality buckets) that the flood hot path runs on,
 //! * **radio** — IEEE 802.15.4 channels, radio states and radio-on-time /
 //!   energy accounting ([`Channel`], [`RadioState`], [`RadioAccounting`]),
 //! * **interference** — controlled 802.15.4 jammers emitting periodic 13 ms
@@ -42,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod compiled;
 pub mod interference;
 pub mod link;
 pub mod radio;
@@ -49,9 +52,10 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
+pub use compiled::{CompiledLink, CompiledTopology, QUALITY_BUCKETS};
 pub use interference::{
     CompositeInterference, InterferenceModel, NoInterference, PeriodicJammer,
-    ScheduledInterference, WifiInterference, WifiLevel,
+    ScheduledInterference, SlotInterference, WifiInterference, WifiLevel,
 };
 pub use link::{LinkQuality, PathLossModel};
 pub use radio::{Channel, RadioAccounting, RadioState};

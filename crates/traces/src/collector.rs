@@ -81,45 +81,57 @@ impl<'a> TraceCollector<'a> {
         let mut samples = Vec::with_capacity(rounds);
         let mut master_rng = SimRng::seed_from(self.seed);
 
-        for round_idx in 0..rounds {
-            let window = (round_idx / self.rounds_per_window) % self.duty_cycle_sweep.len();
+        // One executor per duty-cycle window (consecutive rounds share a
+        // window): the round executor compiles the topology and interference
+        // mask at construction, so rebuilding it per round would redo that
+        // work `rounds × 1` times instead of once per window.
+        let window_of =
+            |round_idx: usize| (round_idx / self.rounds_per_window) % self.duty_cycle_sweep.len();
+        let mut round_idx = 0;
+        while round_idx < rounds {
+            let window = window_of(round_idx);
             let duty = self.duty_cycle_sweep[window];
             let interference = Self::interference_for(duty);
             let interference_ref: &dyn InterferenceModel = match &interference {
                 Some(c) => c,
                 None => &calm,
             };
-            let executor = RoundExecutor::new(self.topology, interference_ref, self.lwb.clone());
-            let start = SimTime::from_secs(round_idx as u64 * 4);
-            // Use the same RNG stream for every N_TX so link fading and burst
-            // positions are identical across the candidate actions.
-            let round_seed = master_rng.fork(round_idx as u64);
+            let mut executor =
+                RoundExecutor::new(self.topology, interference_ref, self.lwb.clone());
 
-            let mut outcomes = Vec::with_capacity(N_TX_MAX as usize + 1);
-            for ntx in 0..=N_TX_MAX {
-                let mut rng = round_seed.clone();
-                let schedule = Schedule::new(
-                    round_idx as u64,
-                    sources.clone(),
-                    NtxAssignment::Uniform(ntx.max(1)),
-                );
-                let round = executor.run_round(&schedule, start, &mut rng);
-                let reliabilities = (0..n)
-                    .map(|i| round.node_reception_ratio(NodeId(i as u16)))
-                    .collect();
-                let radio_on_us = (0..n)
-                    .map(|i| round.node_radio_on_per_slot(NodeId(i as u16)).as_micros())
-                    .collect();
-                outcomes.push(NtxOutcome {
-                    reliabilities,
-                    radio_on_us,
-                    losses: round.losses(),
+            while round_idx < rounds && window_of(round_idx) == window {
+                let start = SimTime::from_secs(round_idx as u64 * 4);
+                // Use the same RNG stream for every N_TX so link fading and
+                // burst positions are identical across the candidate actions.
+                let round_seed = master_rng.fork(round_idx as u64);
+
+                let mut outcomes = Vec::with_capacity(N_TX_MAX as usize + 1);
+                for ntx in 0..=N_TX_MAX {
+                    let mut rng = round_seed.clone();
+                    let schedule = Schedule::new(
+                        round_idx as u64,
+                        sources.clone(),
+                        NtxAssignment::Uniform(ntx.max(1)),
+                    );
+                    let round = executor.run_round(&schedule, start, &mut rng);
+                    let reliabilities = (0..n)
+                        .map(|i| round.node_reception_ratio(NodeId(i as u16)))
+                        .collect();
+                    let radio_on_us = (0..n)
+                        .map(|i| round.node_radio_on_per_slot(NodeId(i as u16)).as_micros())
+                        .collect();
+                    outcomes.push(NtxOutcome {
+                        reliabilities,
+                        radio_on_us,
+                        losses: round.losses(),
+                    });
+                }
+                samples.push(TraceSample {
+                    outcomes,
+                    interference_ratio: duty,
                 });
+                round_idx += 1;
             }
-            samples.push(TraceSample {
-                outcomes,
-                interference_ratio: duty,
-            });
         }
         TraceDataset::new(n, N_TX_MAX, samples)
     }

@@ -11,8 +11,20 @@
 
 use std::time::{Duration, Instant};
 
-/// Per-benchmark time budget (keeps `cargo bench` fast).
-const BUDGET: Duration = Duration::from_millis(200);
+/// Default per-benchmark time budget in milliseconds (keeps `cargo bench`
+/// fast).
+const DEFAULT_BUDGET_MS: u64 = 200;
+
+/// The per-benchmark time budget: `BENCH_BUDGET_MS` from the environment,
+/// or [`DEFAULT_BUDGET_MS`]. CI smoke jobs set `BENCH_BUDGET_MS=1` to run
+/// each benchmark for a single calibration batch.
+fn budget() -> Duration {
+    let ms = std::env::var("BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_BUDGET_MS);
+    Duration::from_millis(ms.max(1))
+}
 
 /// Opaque value barrier preventing the optimizer from deleting benched code.
 pub fn black_box<T>(value: T) -> T {
@@ -36,9 +48,10 @@ impl Bencher {
         let first = start.elapsed().max(Duration::from_nanos(1));
         let mut batch = (Duration::from_millis(1).as_nanos() / first.as_nanos()).max(1) as u64;
 
+        let budget = budget();
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
-        while total < BUDGET {
+        while total < budget {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
@@ -52,12 +65,39 @@ impl Bencher {
     }
 }
 
+/// The recorded measurement of one completed benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// The benchmark id passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of iterations measured.
+    pub iters: u64,
+}
+
 /// Entry point mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
-    /// Runs one named benchmark and prints its mean time per iteration.
+    /// All measurements recorded so far, in execution order. Custom
+    /// `harness = false` benchmark mains use this to post-process timings
+    /// (e.g. compute speedups and emit machine-readable reports).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The mean time per iteration of a completed benchmark, in
+    /// nanoseconds.
+    pub fn mean_ns(&self, id: &str) -> Option<f64> {
+        self.results.iter().find(|r| r.id == id).map(|r| r.mean_ns)
+    }
+
+    /// Runs one named benchmark, records the measurement and prints its
+    /// mean time per iteration.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -65,6 +105,11 @@ impl Criterion {
         let mut bencher = Bencher::default();
         f(&mut bencher);
         let mean = bencher.mean_ns;
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            mean_ns: mean,
+            iters: bencher.iters,
+        });
         let (value, unit) = if mean >= 1e9 {
             (mean / 1e9, "s")
         } else if mean >= 1e6 {
@@ -113,5 +158,16 @@ mod tests {
         b.iter(|| black_box(3u64).wrapping_mul(7));
         assert!(b.mean_ns > 0.0);
         assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn criterion_records_results_for_post_processing() {
+        let mut c = Criterion::default();
+        c.bench_function("a", |b| b.iter(|| black_box(1u64) + 1))
+            .bench_function("b", |b| b.iter(|| black_box(2u64) * 2));
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "a");
+        assert!(c.mean_ns("b").unwrap() > 0.0);
+        assert!(c.mean_ns("missing").is_none());
     }
 }
