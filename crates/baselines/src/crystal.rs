@@ -21,7 +21,7 @@ use dimmer_core::{ControlDecision, Controller, EpochDriver, EpochOutcome, RoundO
 use dimmer_glossy::{FloodSimulator, GlossyConfig, NtxAssignment};
 use dimmer_lwb::HoppingSequence;
 use dimmer_sim::{
-    InterferenceModel, NodeId, RadioAccounting, SimDuration, SimRng, SimTime, Topology,
+    InterferenceModel, NodeId, RadioAccounting, SimDuration, SimRng, SimTime, Topology, WorldEvent,
 };
 
 /// Configuration of the Crystal baseline.
@@ -141,6 +141,41 @@ impl<'a> CrystalRunner<'a> {
         &self.config
     }
 
+    /// Applies one dynamic-world event to the runner's compiled substrate.
+    pub fn apply_world_event(&mut self, event: &WorldEvent) -> bool {
+        self.flood.apply_world_event(event)
+    }
+
+    /// Installs the dynamic-world alive mask: dead nodes sit out every
+    /// sync/T/A flood and drop out of the per-epoch energy accounting. The
+    /// mask lives in the runner's [`FloodSimulator`] — the single source of
+    /// truth for participation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask does not cover every node or marks the sink dead
+    /// (the collection protocol cannot run without its sink).
+    pub fn set_alive(&mut self, alive: &[bool]) {
+        assert_eq!(
+            alive.len(),
+            self.topology.num_nodes(),
+            "alive mask must cover every node"
+        );
+        assert!(alive[self.sink.index()], "the sink must stay alive");
+        self.flood.set_alive(alive);
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.flood.alive().is_none_or(|a| a[node.index()])
+    }
+
+    fn alive_count(&self) -> usize {
+        match self.flood.alive() {
+            Some(a) => a.iter().filter(|&&x| x).count(),
+            None => self.topology.num_nodes(),
+        }
+    }
+
     /// Cumulative delivery ratio over all epochs run so far.
     pub fn app_reliability(&self) -> f64 {
         if self.total_offered == 0 {
@@ -202,7 +237,7 @@ impl<'a> CrystalRunner<'a> {
         let mut pending: Vec<NodeId> = sources
             .iter()
             .copied()
-            .filter(|&s| s != self.sink)
+            .filter(|&s| s != self.sink && self.is_alive(s))
             .collect();
         let offered = pending.clone();
         let mut delivered: Vec<NodeId> = Vec::new();
@@ -220,8 +255,12 @@ impl<'a> CrystalRunner<'a> {
             // T slot: concurrent contenders are resolved by capture — pick
             // one pending source at random to win the flood.
             let t_delivered = if pending.is_empty() {
-                // Silent pair: everyone still listens for the whole slot.
+                // Silent pair: every alive node still listens for the whole
+                // slot (dead radios are off).
                 for node in self.topology.node_ids() {
+                    if !self.is_alive(node) {
+                        continue;
+                    }
                     let mut listen = RadioAccounting::new();
                     listen.record(dimmer_sim::RadioState::Rx, self.config.slot_duration);
                     per_node_energy[node.index()].merge(&listen);
@@ -287,7 +326,7 @@ impl<'a> CrystalRunner<'a> {
             .iter()
             .map(|acc| acc.on_time().as_micros())
             .sum::<u64>()
-            / (self.topology.num_nodes() as u64 * slot_count.max(1) as u64);
+            / (self.alive_count() as u64 * slot_count.max(1) as u64);
 
         self.total_energy += energy;
         self.total_offered += offered.len();
@@ -321,6 +360,14 @@ impl EpochDriver for CrystalRunner<'_> {
 
     fn ntx(&self) -> u8 {
         self.config().flood_ntx
+    }
+
+    fn world_event(&mut self, event: &WorldEvent) {
+        self.apply_world_event(event);
+    }
+
+    fn set_alive(&mut self, alive: &[bool]) {
+        CrystalRunner::set_alive(self, alive);
     }
 }
 

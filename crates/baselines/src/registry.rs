@@ -42,7 +42,7 @@ use dimmer_core::{
     StaticNtxController,
 };
 use dimmer_lwb::{LwbConfig, TrafficPattern};
-use dimmer_sim::{InterferenceModel, NoInterference, Topology};
+use dimmer_sim::{InterferenceModel, NoInterference, ScenarioScript, Topology};
 
 /// Fluent description of one simulation: the substrate (topology,
 /// interference), the workload (traffic), the protocol configurations and
@@ -59,6 +59,7 @@ pub struct SimulationBuilder<'a> {
     static_ntx: u8,
     policy: Option<AdaptivityPolicy>,
     traffic: TrafficPattern,
+    script: ScenarioScript,
     seed: u64,
 }
 
@@ -77,6 +78,7 @@ impl<'a> SimulationBuilder<'a> {
             static_ntx: 3,
             policy: None,
             traffic: TrafficPattern::AllToAll,
+            script: ScenarioScript::new(),
             seed: 1,
         }
     }
@@ -132,6 +134,15 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
+    /// Installs a dynamic-world scenario script (node churn, link drift,
+    /// topology swaps), applied between rounds by every protocol built from
+    /// this builder. The default is the empty script — a static world,
+    /// byte-for-byte identical to runs without one.
+    pub fn script(mut self, script: ScenarioScript) -> Self {
+        self.script = script;
+        self
+    }
+
     /// Sets the seed all of the simulation's randomness derives from.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -169,6 +180,7 @@ impl<'a> SimulationBuilder<'a> {
             self.seed,
         )
         .with_traffic(self.traffic)
+        .with_world_script(self.script)
     }
 
     /// Builds the protocol registered under `name` in the
@@ -322,7 +334,8 @@ fn build_adaptivity<'a>(
             controller,
             builder.seed,
         )
-        .with_traffic(builder.traffic),
+        .with_traffic(builder.traffic)
+        .with_world_script(builder.script),
     )
 }
 
@@ -349,7 +362,8 @@ fn build_pid<'a>(builder: SimulationBuilder<'a>) -> Box<dyn Simulation + 'a> {
             builder.pid.clone(),
             builder.seed,
         )
-        .with_traffic(builder.traffic),
+        .with_traffic(builder.traffic)
+        .with_world_script(builder.script),
     )
 }
 
@@ -365,7 +379,8 @@ fn build_static<'a>(builder: SimulationBuilder<'a>) -> Box<dyn Simulation + 'a> 
             StaticNtxController::new(builder.static_ntx),
             builder.seed,
         )
-        .with_traffic(builder.traffic),
+        .with_traffic(builder.traffic)
+        .with_world_script(builder.script),
     )
 }
 
@@ -374,6 +389,17 @@ fn build_crystal<'a>(builder: SimulationBuilder<'a>) -> Box<dyn Simulation + 'a>
         .traffic
         .sink()
         .unwrap_or_else(|| builder.topology.coordinator());
+    // World validation only protects the topology coordinator; Crystal's
+    // sink may be a different node, so reject sink-killing scripts here,
+    // at construction time, instead of panicking rounds into the run.
+    assert!(
+        !builder
+            .script
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, dimmer_sim::WorldEvent::NodeFail(n) if *n == sink)),
+        "the Crystal sink cannot fail (scripted NodeFail({sink}))"
+    );
     let driver = Box::new(CrystalRunner::new(
         builder.topology,
         builder.interference,
@@ -391,7 +417,8 @@ fn build_crystal<'a>(builder: SimulationBuilder<'a>) -> Box<dyn Simulation + 'a>
             driver,
             builder.seed,
         )
-        .with_traffic(builder.traffic),
+        .with_traffic(builder.traffic)
+        .with_world_script(builder.script),
     )
 }
 
@@ -480,6 +507,48 @@ mod tests {
             .unwrap();
         assert_eq!(sim.run_rounds(2).len(), 2);
         assert_eq!(sim.ntx(), 5);
+    }
+
+    #[test]
+    fn every_protocol_runs_a_churn_script_through_the_builder() {
+        use dimmer_sim::{NodeId, SimTime};
+        let topo = Topology::kiel_testbed_18(1);
+        // 4-second rounds: two nodes fail before round 1, one rejoins
+        // before round 3.
+        let script = ScenarioScript::new()
+            .fail_node(SimTime::from_secs(4), NodeId(6))
+            .fail_node(SimTime::from_secs(4), NodeId(11))
+            .rejoin_node(SimTime::from_secs(12), NodeId(6));
+        for name in ProtocolRegistry::standard().names() {
+            let mut sim = SimulationBuilder::new(&topo)
+                .policy(AdaptivityPolicy::rule_based())
+                .script(script.clone())
+                .seed(5)
+                .build_protocol(name)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let reports = sim.run_rounds(4);
+            assert_eq!(reports[0].alive_nodes, 18, "{name}");
+            assert_eq!(reports[1].alive_nodes, 16, "{name}");
+            assert_eq!(reports[3].alive_nodes, 17, "{name}");
+            for r in &reports {
+                assert!((0.0..=1.0).contains(&r.reliability), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sink cannot fail")]
+    fn crystal_rejects_sink_killing_scripts_at_construction() {
+        use dimmer_sim::{NodeId, SimTime};
+        let topo = Topology::dcube_48(1);
+        let sink = NodeId(7);
+        let traffic = TrafficPattern::dcube_collection(48, 5, sink);
+        // The sink is not the coordinator, so World validation alone would
+        // let this through and the run would panic rounds later.
+        let _ = SimulationBuilder::new(&topo)
+            .traffic(traffic)
+            .script(ScenarioScript::new().fail_node(SimTime::from_secs(40), sink))
+            .build_protocol("crystal");
     }
 
     #[test]

@@ -23,14 +23,13 @@ use std::sync::Arc;
 
 use dimmer_bench::experiments::fig4b_grid;
 use dimmer_bench::harness::HarnessCli;
-use dimmer_bench::scenarios::arg_value;
 use dimmer_sim::Topology;
 use dimmer_traces::TraceCollector;
 
 fn main() {
     let cli = HarnessCli::parse(1000);
     let _protocols = cli.select_protocols(&["dimmer-dqn"]);
-    let part = arg_value("--part").unwrap_or_else(|| "both".to_string());
+    let part = cli.value("--part").unwrap_or_else(|| "both".to_string());
     if !["nodes", "history", "both"].contains(&part.as_str()) {
         eprintln!("error: unknown --part '{part}' (expected nodes, history or both)");
         std::process::exit(2);

@@ -45,7 +45,7 @@ fn print_timeline(label: &str, reports: &[DimmerRoundReport]) {
 
 fn main() {
     let cli = HarnessCli::parse(7);
-    if dimmer_bench::scenarios::arg_value("--protocol").is_some() {
+    if cli.has("--protocol") {
         eprintln!("error: --protocol was replaced by --protocols (registry names, e.g. --protocols dimmer-dqn,pid)");
         std::process::exit(2);
     }

@@ -22,11 +22,13 @@ use dimmer_bench::experiments::{
     fig5_seed_sweep_grid, protocol_list, topology_size_grid, TESTBED_PROTOCOLS,
 };
 use dimmer_bench::harness::HarnessCli;
-use dimmer_bench::scenarios::{arg_value, dimmer_policy};
+use dimmer_bench::scenarios::dimmer_policy;
 
 fn main() {
     let cli = HarnessCli::parse(500);
-    let preset = arg_value("--preset").unwrap_or_else(|| "fig5-seeds".to_string());
+    let preset = cli
+        .value("--preset")
+        .unwrap_or_else(|| "fig5-seeds".to_string());
     let rounds = if cli.quick { 40 } else { 120 };
 
     let (grid, default_trials) = match preset.as_str() {

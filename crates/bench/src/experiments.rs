@@ -24,8 +24,12 @@
 use std::sync::Arc;
 
 use crate::harness::{ScenarioGrid, TrialMetrics};
-use crate::scenarios::{dynamic_interference_scenario, kiel_jamming};
-use crate::summary::{mean_forwarders, summarize, summary_metrics, ProtocolSummary};
+use crate::scenarios::{
+    dynamic_interference_scenario, dynamic_scenario, kiel_jamming, DYNAMIC_SCENARIOS,
+};
+use crate::summary::{
+    mean_forwarders, phase_summaries, summarize, summary_metrics, ProtocolSummary,
+};
 use dimmer_baselines::SimulationBuilder;
 use dimmer_core::{
     AdaptivityPolicy, DimmerConfig, DimmerRoundReport, DimmerRunner, GlobalView, StateBuilder,
@@ -46,6 +50,11 @@ pub const TESTBED_PROTOCOLS: [&str; 3] = ["static", "dimmer-dqn", "pid"];
 /// The registry protocols of the Fig. 7 D-Cube comparison, in presentation
 /// order.
 pub const DCUBE_PROTOCOLS: [&str; 3] = ["static", "dimmer-dqn", "crystal"];
+
+/// The registry protocols the dynamic-world scenarios compare
+/// (`exp_dynamics`): the testbed LWB protocols — Crystal is
+/// collection-only — in presentation order.
+pub const DYNAMICS_PROTOCOLS: [&str; 4] = ["static", "dimmer-dqn", "dimmer-rule", "pid"];
 
 /// Table I + §IV-B footprint numbers (`exp_table1`).
 #[derive(Debug, Clone, PartialEq)]
@@ -656,6 +665,93 @@ pub fn fig7_grid(policy: AdaptivityPolicy, rounds: usize, protocols: &[String]) 
     grid
 }
 
+/// Runs one registry protocol through a dynamic-world scenario preset on
+/// the 18-node testbed (one `exp_dynamics` trial), returning the per-round
+/// reports.
+///
+/// # Panics
+///
+/// Panics on unknown scenario or protocol names.
+pub fn dynamics_run(
+    protocol: &str,
+    scenario: &str,
+    policy: &AdaptivityPolicy,
+    rounds: usize,
+    seed: u64,
+) -> Vec<DimmerRoundReport> {
+    let topo = Topology::kiel_testbed_18(1);
+    let sc = dynamic_scenario(scenario, rounds, &topo)
+        .unwrap_or_else(|| panic!("unknown dynamic scenario '{scenario}'"));
+    let mut sim = SimulationBuilder::new(&topo)
+        .interference(sc.interference.as_ref())
+        .script(sc.script.clone())
+        .policy(policy.clone())
+        .seed(seed)
+        .build_protocol(protocol)
+        .unwrap_or_else(|e| panic!("{e}"));
+    sim.run_rounds(rounds)
+}
+
+/// The dynamic-world grid (`exp_dynamics`): every selected registry
+/// protocol through one scenario preset, with overall metrics plus
+/// per-phase summary buckets (`rel@<phase>`, `radio@<phase>`,
+/// `alive@<phase>`). `first_cache` may hold an already-simulated run of
+/// the *first* protocol (see [`CachedRun`]; the binary's single-trial
+/// timeline reuses it).
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name (validated up front, before any
+/// trial runs).
+pub fn dynamics_grid(
+    policy: AdaptivityPolicy,
+    rounds: usize,
+    scenario: &str,
+    protocols: &[String],
+    first_cache: Option<CachedRun>,
+) -> ScenarioGrid {
+    let topo = Topology::kiel_testbed_18(1);
+    let bounds: Vec<(&'static str, usize)> = dynamic_scenario(scenario, rounds, &topo)
+        .unwrap_or_else(|| {
+            panic!(
+                "unknown dynamic scenario '{scenario}' (catalogue: {})",
+                DYNAMIC_SCENARIOS.join(", ")
+            )
+        })
+        .phase_bounds();
+    let mut grid = ScenarioGrid::new("dynamics");
+    let period = testbed_period_ms();
+    for (cell, protocol) in protocols.iter().enumerate() {
+        let policy = policy.clone();
+        let protocol = protocol.clone();
+        let scenario = scenario.to_string();
+        let bounds = bounds.clone();
+        let cache = if cell == 0 { first_cache.clone() } else { None };
+        grid.push_cell(
+            format!("{protocol} @ {scenario}"),
+            vec![
+                ("protocol".into(), protocol.clone()),
+                ("scenario".into(), scenario.clone()),
+            ],
+            move |seed| {
+                let reports = CachedRun::lookup(&cache, seed).unwrap_or_else(|| {
+                    Arc::new(dynamics_run(&protocol, &scenario, &policy, rounds, seed))
+                });
+                let overall = summarize(&reports);
+                let mut metrics =
+                    summary_metrics(&overall, period).with("mean_alive", overall.mean_alive);
+                for (label, phase) in phase_summaries(&reports, &bounds) {
+                    metrics.push(&format!("rel@{label}"), phase.reliability);
+                    metrics.push(&format!("radio@{label}"), phase.radio_on_ms);
+                    metrics.push(&format!("alive@{label}"), phase.mean_alive);
+                }
+                metrics
+            },
+        );
+    }
+    grid
+}
+
 /// `protocols` as owned strings (grid builders borrow them per cell).
 pub fn protocol_list(protocols: &[&str]) -> Vec<String> {
     protocols.iter().map(|p| p.to_string()).collect()
@@ -699,6 +795,17 @@ mod tests {
             "fig5_seed_sweep"
         );
         assert_eq!(fig6_grid(4, None).len(), 2);
+        assert_eq!(
+            dynamics_grid(
+                policy.clone(),
+                8,
+                "churn-storm",
+                &protocol_list(&["static", "pid"]),
+                None
+            )
+            .len(),
+            2
+        );
         assert_eq!(fig7_grid(policy, 4, &dcube).len(), 9);
         assert_eq!(
             topology_size_grid(4, &[3, 4], &protocol_list(&["static", "dimmer-rule"])).len(),
@@ -733,6 +840,46 @@ mod tests {
             assert!(rel.mean.is_finite() && (0.0..=1.0).contains(&rel.mean));
             assert!(cell.metric("latency_ms").unwrap().mean > 0.0);
         }
+    }
+
+    #[test]
+    fn dynamics_cells_run_and_emit_phase_metrics() {
+        use crate::harness::RunOptions;
+        let protocols = protocol_list(&["static"]);
+        let grid = dynamics_grid(
+            AdaptivityPolicy::rule_based(),
+            12,
+            "flash-crowd",
+            &protocols,
+            None,
+        );
+        let report = grid.run(&RunOptions {
+            trials: 2,
+            threads: 2,
+            seed: 3,
+        });
+        let cell = &report.cells[0];
+        assert!(cell.metric("reliability").is_some());
+        assert!(cell.metric("latency_ms").is_some());
+        // Six of eighteen nodes are down for half the run.
+        let alive = cell.metric("mean_alive").unwrap().mean;
+        assert!(alive > 12.0 && alive < 18.0, "got {alive}");
+        assert!(cell.metric("rel@small-net").is_some());
+        assert!(cell.metric("alive@join-wave").is_some());
+        let small = cell.metric("alive@small-net").unwrap().mean;
+        assert!((small - 12.0).abs() < 1e-9, "got {small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dynamic scenario")]
+    fn dynamics_grid_rejects_unknown_scenarios() {
+        dynamics_grid(
+            AdaptivityPolicy::rule_based(),
+            8,
+            "earthquake",
+            &protocol_list(&["static"]),
+            None,
+        );
     }
 
     #[test]

@@ -49,7 +49,6 @@ use std::sync::Mutex;
 use dimmer_sim::SimRng;
 
 use crate::report::{Aggregate, CellReport, GridReport};
-use crate::scenarios::arg_value;
 
 /// The named metric samples produced by one trial.
 ///
@@ -269,13 +268,16 @@ fn aggregate_cell(cell: &GridCell, per_trial: &[&TrialMetrics]) -> CellReport {
     }
 }
 
-/// The command-line options shared by every experiment binary.
+/// The command-line options shared by every experiment binary — the **one
+/// CLI surface** of the `exp_*` family.
 ///
 /// All `exp_*` binaries accept `--protocols a,b,c`, `--trials N`,
 /// `--threads N`, `--seed S`, `--json PATH` and `--quick` in addition to
 /// their binary-specific flags. Protocol names resolve against the
 /// registry in `dimmer-baselines` (see
-/// [`select_protocols`](Self::select_protocols)).
+/// [`select_protocols`](Self::select_protocols)). Binary-specific flags go
+/// through the same parsed argument list via [`value`](Self::value) /
+/// [`has`](Self::has), so no binary touches `std::env::args` directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessCli {
     /// Trials per cell (`--trials`); `None` if the flag was absent so the
@@ -293,6 +295,10 @@ pub struct HarnessCli {
     /// Comma-separated registry protocol names (`--protocols`); `None` if
     /// the flag was absent so the binary runs its default set.
     pub protocols: Option<Vec<String>>,
+    /// The raw argument list (binary name excluded), backing
+    /// [`value`](Self::value) / [`has`](Self::has) lookups of
+    /// binary-specific flags.
+    args: Vec<String>,
 }
 
 impl HarnessCli {
@@ -302,8 +308,24 @@ impl HarnessCli {
     /// Exits the process with status 2 on malformed numeric flags, matching
     /// the binaries' existing error style.
     pub fn parse(default_seed: u64) -> HarnessCli {
+        Self::parse_from(std::env::args().skip(1).collect(), default_seed)
+    }
+
+    /// The one flag-value lookup both the constructor and
+    /// [`value`](Self::value) share: the argument following `--flag`.
+    fn lookup(args: &[String], flag: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    }
+
+    /// [`parse`](Self::parse) over an explicit argument list (testable
+    /// form; `args` excludes the binary name).
+    pub fn parse_from(args: Vec<String>, default_seed: u64) -> HarnessCli {
+        let value = |flag: &str| Self::lookup(&args, flag);
         let parse_num = |flag: &str| -> Option<u64> {
-            arg_value(flag).map(|v| {
+            value(flag).map(|v| {
                 v.parse().unwrap_or_else(|_| {
                     eprintln!("error: {flag} expects a non-negative integer, got '{v}'");
                     std::process::exit(2);
@@ -328,9 +350,9 @@ impl HarnessCli {
             trials,
             threads,
             seed: parse_num("--seed").unwrap_or(default_seed),
-            json: arg_value("--json").map(std::path::PathBuf::from),
-            quick: crate::scenarios::quick_flag(),
-            protocols: arg_value("--protocols").map(|v| {
+            json: value("--json").map(std::path::PathBuf::from),
+            quick: args.iter().any(|a| a == "--quick"),
+            protocols: value("--protocols").map(|v| {
                 let list: Vec<String> = v
                     .split(',')
                     .map(|p| p.trim().to_string())
@@ -342,7 +364,19 @@ impl HarnessCli {
                 }
                 list
             }),
+            args,
         }
+    }
+
+    /// The value following a binary-specific `--flag`, if present (e.g.
+    /// `--part` of `exp_fig4b`, `--scenario` of `exp_dynamics`).
+    pub fn value(&self, flag: &str) -> Option<String> {
+        Self::lookup(&self.args, flag)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
     }
 
     /// Resolves the `--protocols` selection against the registry and the
@@ -490,6 +524,52 @@ mod tests {
             threads: 1,
             seed: 0,
         });
+    }
+
+    fn cli(args: &[&str]) -> HarnessCli {
+        HarnessCli::parse_from(args.iter().map(|a| a.to_string()).collect(), 77)
+    }
+
+    #[test]
+    fn parse_from_reads_shared_and_binary_specific_flags() {
+        let c = cli(&[
+            "--trials",
+            "4",
+            "--threads",
+            "2",
+            "--quick",
+            "--protocols",
+            "static,pid",
+            "--scenario",
+            "churn-storm",
+            "--json",
+            "out.json",
+        ]);
+        assert_eq!(c.trials, Some(4));
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.seed, 77, "default seed applies");
+        assert!(c.quick);
+        assert_eq!(
+            c.protocols,
+            Some(vec!["static".to_string(), "pid".to_string()])
+        );
+        assert_eq!(c.value("--scenario").as_deref(), Some("churn-storm"));
+        assert_eq!(c.value("--part"), None);
+        assert!(c.has("--quick"));
+        assert!(!c.has("--part"));
+        assert_eq!(c.json.as_deref(), Some(std::path::Path::new("out.json")));
+    }
+
+    #[test]
+    fn parse_from_defaults_without_flags() {
+        let c = cli(&[]);
+        assert_eq!(c.trials, None);
+        assert!(!c.quick);
+        assert_eq!(c.protocols, None);
+        assert_eq!(c.seed, 77);
+        assert!(c.threads >= 1);
+        assert_eq!(c.run_options(3).trials, 3);
+        assert_eq!(cli(&["--seed", "5"]).seed, 5);
     }
 
     #[test]

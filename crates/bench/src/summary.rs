@@ -23,6 +23,9 @@ pub struct ProtocolSummary {
     pub radio_on_ms: f64,
     /// Mean `N_TX` over the run.
     pub mean_ntx: f64,
+    /// Mean number of alive nodes over the run (equals the network size in
+    /// a static world).
+    pub mean_alive: f64,
     /// Number of rounds aggregated.
     pub rounds: usize,
 }
@@ -34,6 +37,7 @@ pub fn summarize(reports: &[DimmerRoundReport]) -> ProtocolSummary {
             reliability: 1.0,
             radio_on_ms: 0.0,
             mean_ntx: 0.0,
+            mean_alive: 0.0,
             rounds: 0,
         };
     }
@@ -46,8 +50,40 @@ pub fn summarize(reports: &[DimmerRoundReport]) -> ProtocolSummary {
             .sum::<f64>()
             / n,
         mean_ntx: reports.iter().map(|r| r.ntx as f64).sum::<f64>() / n,
+        mean_alive: reports.iter().map(|r| r.alive_nodes as f64).sum::<f64>() / n,
         rounds: reports.len(),
     }
+}
+
+/// Folds a run into the labelled phases of a dynamic scenario: phase `i`
+/// covers rounds `bounds[i].1 .. bounds[i + 1].1` (the last phase runs to
+/// the end). Returns one `(label, summary)` pair per phase, skipping
+/// phases that start beyond the run.
+///
+/// # Panics
+///
+/// Panics if `bounds` is empty or not ascending by start round.
+pub fn phase_summaries(
+    reports: &[DimmerRoundReport],
+    bounds: &[(&str, usize)],
+) -> Vec<(String, ProtocolSummary)> {
+    assert!(!bounds.is_empty(), "need at least one phase");
+    assert!(
+        bounds.windows(2).all(|w| w[0].1 < w[1].1),
+        "phase bounds must ascend"
+    );
+    let mut out = Vec::with_capacity(bounds.len());
+    for (i, &(label, start)) in bounds.iter().enumerate() {
+        if start >= reports.len() {
+            break;
+        }
+        let end = bounds
+            .get(i + 1)
+            .map(|&(_, s)| s.min(reports.len()))
+            .unwrap_or(reports.len());
+        out.push((label.to_string(), summarize(&reports[start..end])));
+    }
+    out
 }
 
 /// Converts a [`ProtocolSummary`] into harness metrics.
@@ -147,7 +183,38 @@ mod tests {
             energy_joules: 1.0,
             packets_generated: 18,
             packets_delivered: 18,
+            alive_nodes: 18,
         }
+    }
+
+    #[test]
+    fn phase_summaries_split_on_the_boundaries() {
+        let reports = vec![
+            make(1.0, 2, 18),
+            make(1.0, 2, 18),
+            make(0.5, 6, 18),
+            make(0.5, 6, 18),
+            make(0.9, 3, 18),
+        ];
+        let phases = phase_summaries(&reports, &[("calm", 0), ("storm", 2), ("recovered", 4)]);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].0, "calm");
+        assert_eq!(phases[0].1.rounds, 2);
+        assert!((phases[0].1.reliability - 1.0).abs() < 1e-12);
+        assert!((phases[1].1.reliability - 0.5).abs() < 1e-12);
+        assert_eq!(phases[2].1.rounds, 1);
+        assert!((phases[2].1.mean_alive - 18.0).abs() < 1e-12);
+        // Phases beyond the run are skipped; the last kept phase absorbs
+        // the tail.
+        let short = phase_summaries(&reports[..3], &[("calm", 0), ("late", 10)]);
+        assert_eq!(short.len(), 1);
+        assert_eq!(short[0].1.rounds, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn phase_summaries_reject_unsorted_bounds() {
+        phase_summaries(&[], &[("a", 3), ("b", 1)]);
     }
 
     #[test]

@@ -46,6 +46,14 @@ pub struct RoundObservation<'a> {
     pub mean_radio_on: SimDuration,
     /// Energy spent by the whole network during the round, in Joules.
     pub energy_joules: f64,
+    /// Number of alive nodes during the round (equals the network size in
+    /// a static world).
+    pub alive_nodes: usize,
+    /// Nodes that failed between the previous round and this one (dynamic
+    /// world churn).
+    pub failed_nodes: usize,
+    /// Nodes that rejoined between the previous round and this one.
+    pub rejoined_nodes: usize,
     /// The Table-I state vector the coordinator built from its global view
     /// (empty unless [`Controller::wants_state`] returned `true`).
     pub state: &'a [f32],
@@ -55,6 +63,13 @@ impl RoundObservation<'_> {
     /// Whether the round missed at least one (slot, destination) pair.
     pub fn had_losses(&self) -> bool {
         self.losses > 0
+    }
+
+    /// Whether the network's membership changed just before this round —
+    /// the dynamic-world signal a controller can react to (e.g. by holding
+    /// `N_TX` up while a join wave resynchronizes).
+    pub fn churned(&self) -> bool {
+        self.failed_nodes > 0 || self.rejoined_nodes > 0
     }
 }
 
@@ -221,8 +236,22 @@ mod tests {
             losses: if reliability < 1.0 { 1 } else { 0 },
             mean_radio_on: SimDuration::from_millis(10),
             energy_joules: 1.0,
+            alive_nodes: 18,
+            failed_nodes: 0,
+            rejoined_nodes: 0,
             state,
         }
+    }
+
+    #[test]
+    fn churn_helper_reflects_membership_changes() {
+        let mut o = obs(1.0, 3, &[]);
+        assert!(!o.churned());
+        o.failed_nodes = 2;
+        assert!(o.churned());
+        o.failed_nodes = 0;
+        o.rejoined_nodes = 1;
+        assert!(o.churned());
     }
 
     #[test]

@@ -43,7 +43,10 @@ use crate::state::StateBuilder;
 use crate::stats::{GlobalView, StatisticsCollector};
 use dimmer_glossy::NtxAssignment;
 use dimmer_lwb::{LwbConfig, LwbScheduler, RoundExecutor, RoundOutcome, TrafficPattern};
-use dimmer_sim::{InterferenceModel, NodeId, SimDuration, SimRng, SimTime, Topology};
+use dimmer_sim::{
+    InterferenceModel, NodeId, ScenarioScript, SimDuration, SimRng, SimTime, Topology, World,
+    WorldEvent,
+};
 
 /// Which control scheme owned the round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +86,9 @@ pub struct DimmerRoundReport {
     /// Number of application packets delivered this round (including
     /// ACK-triggered retransmissions of older packets).
     pub packets_delivered: usize,
+    /// Number of alive nodes during the round (equals the network size in a
+    /// static world).
+    pub alive_nodes: usize,
 }
 
 /// Outcome of one protocol epoch executed by an [`EpochDriver`].
@@ -109,6 +115,15 @@ pub trait EpochDriver {
 
     /// The `N_TX` the driver uses inside its floods (reported per round).
     fn ntx(&self) -> u8;
+
+    /// Dynamic-world hook: one scripted [`WorldEvent`] fired before the
+    /// upcoming epoch. Drivers owning a compiled substrate should forward
+    /// topology events to it; the default ignores everything.
+    fn world_event(&mut self, _event: &WorldEvent) {}
+
+    /// Dynamic-world hook: the alive mask changed before the upcoming
+    /// epoch. The default ignores it.
+    fn set_alive(&mut self, _alive: &[bool]) {}
 }
 
 #[derive(Debug, Clone)]
@@ -161,6 +176,10 @@ pub struct RoundEngine<'a, C: Controller> {
     traffic: TrafficPattern,
     controller: C,
     backend: Backend<'a>,
+    /// The dynamic world: scenario script plus membership state, advanced
+    /// to the engine clock before every round. Static (empty script) by
+    /// default.
+    world: World,
     ntx: u8,
     now: SimTime,
     rng: SimRng,
@@ -296,6 +315,7 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
             traffic: TrafficPattern::AllToAll,
             controller,
             backend,
+            world: World::static_world(topology.num_nodes(), topology.coordinator()),
             ntx,
             now: SimTime::ZERO,
             rng,
@@ -312,6 +332,30 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
     pub fn with_traffic(mut self, traffic: TrafficPattern) -> Self {
         self.traffic = traffic;
         self
+    }
+
+    /// Installs a dynamic-world scenario script. Events fire between
+    /// rounds, ahead of the first round whose start time reaches their
+    /// timestamp; an empty script is the static world and leaves every run
+    /// byte-for-byte identical to an engine without a script.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script references out-of-range nodes, fails the
+    /// coordinator, or contains malformed topology swaps (see
+    /// [`World::new`]).
+    pub fn with_world_script(mut self, script: ScenarioScript) -> Self {
+        self.world = World::new(
+            self.topology.num_nodes(),
+            self.topology.coordinator(),
+            script,
+        );
+        self
+    }
+
+    /// The engine's dynamic world (membership state and scenario script).
+    pub fn world(&self) -> &World {
+        &self.world
     }
 
     /// The controller driving this engine.
@@ -409,9 +453,24 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
     }
 
     fn run_lwb_round(&mut self) -> DimmerRoundReport {
+        // 0. Advance the dynamic world to the round's start time: scripted
+        //    events with timestamps <= now fire between rounds, patching the
+        //    compiled substrate and the membership mask before anything
+        //    transmits.
+        let update = self.world.advance_to(self.now);
         let Backend::Lwb(lwb) = &mut self.backend else {
             unreachable!("run_lwb_round on a non-LWB backend");
         };
+        if update.topology_changed {
+            for (_, event) in self.world.events_in(update.fired.clone()) {
+                if event.is_topology_event() {
+                    lwb.executor.apply_world_event(event);
+                }
+            }
+        }
+        if update.membership_changed() {
+            lwb.executor.set_alive(self.world.alive());
+        }
 
         // 1. Mode selection: calm networks hand control to the forwarder
         //    selection; any recent loss keeps (or puts back) every device in
@@ -425,14 +484,19 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
         };
 
         // 2. Sources for this round: fresh traffic plus (with ACKs) pending
-        //    retransmissions.
+        //    retransmissions. The schedule skips failed nodes — a dead node
+        //    cannot source a slot (its pending retransmissions resume when
+        //    it rejoins).
         let mut sources = self
             .traffic
             .sources_for_round(&self.node_ids, &mut self.rng);
+        if !self.world.is_static() {
+            sources.retain(|s| self.world.is_alive(*s));
+        }
         let fresh_sources = sources.clone();
         if self.config.acknowledgements {
             for p in &lwb.pending {
-                if !sources.contains(&p.source) {
+                if self.world.is_alive(p.source) && !sources.contains(&p.source) {
                     sources.push(p.source);
                 }
             }
@@ -496,6 +560,7 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
             self.topology,
             &self.config,
             &self.traffic,
+            self.world.alive(),
             &mut lwb.pending,
             &mut self.total_generated,
             &mut self.total_delivered,
@@ -515,7 +580,7 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
                 }
                 forwarders
             }
-            RoundMode::Adaptivity => self.topology.num_nodes(),
+            RoundMode::Adaptivity => self.world.alive_count(),
         };
         lwb.state_builder.record_history(had_losses);
         // The coordinator executes its policy after every round, even while
@@ -534,6 +599,9 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
             losses,
             mean_radio_on: round.mean_radio_on_per_slot(),
             energy_joules: energy,
+            alive_nodes: self.world.alive_count(),
+            failed_nodes: update.failed,
+            rejoined_nodes: update.rejoined,
             state: &state,
         };
         match self.controller.observe(&observation) {
@@ -559,6 +627,7 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
             energy_joules: energy,
             packets_generated: generated,
             packets_delivered: delivered,
+            alive_nodes: self.world.alive_count(),
         };
 
         self.now += self.lwb_config.round_period;
@@ -567,12 +636,26 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
     }
 
     fn run_epoch_round(&mut self) -> DimmerRoundReport {
+        // Advance the dynamic world and hand every fired event to the
+        // driver (it owns its substrate), exactly like the LWB path.
+        let update = self.world.advance_to(self.now);
         let Backend::Epoch(driver) = &mut self.backend else {
             unreachable!("run_epoch_round on a non-epoch backend");
         };
-        let sources = self
+        if !update.is_empty() {
+            for (_, event) in self.world.events_in(update.fired.clone()) {
+                driver.world_event(event);
+            }
+            if update.membership_changed() {
+                driver.set_alive(self.world.alive());
+            }
+        }
+        let mut sources = self
             .traffic
             .sources_for_round(&self.node_ids, &mut self.rng);
+        if !self.world.is_static() {
+            sources.retain(|s| self.world.is_alive(*s));
+        }
         let period = self.lwb_config.round_period;
         let outcome = driver.run_epoch(&sources, period);
         let ntx = driver.ntx();
@@ -595,6 +678,9 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
             losses,
             mean_radio_on: outcome.mean_radio_on,
             energy_joules: outcome.energy_joules,
+            alive_nodes: self.world.alive_count(),
+            failed_nodes: update.failed,
+            rejoined_nodes: update.rejoined,
             state: &[],
         };
         // Epoch drivers steer their own retransmissions inside each epoch;
@@ -611,10 +697,11 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
             mean_radio_on: outcome.mean_radio_on,
             losses,
             reward: reward(losses == 0, ntx, self.config.n_max, self.config.reward_c),
-            active_forwarders: self.topology.num_nodes(),
+            active_forwarders: self.world.alive_count(),
             energy_joules: outcome.energy_joules,
             packets_generated: outcome.offered,
             packets_delivered: outcome.delivered,
+            alive_nodes: self.world.alive_count(),
         };
 
         self.now += period;
@@ -635,6 +722,7 @@ fn track_delivery(
     topology: &Topology,
     config: &DimmerConfig,
     traffic: &TrafficPattern,
+    alive: &[bool],
     pending: &mut Vec<PendingPacket>,
     total_generated: &mut usize,
     total_delivered: &mut usize,
@@ -645,14 +733,14 @@ fn track_delivery(
         Some(s) => s,
         None => {
             // Broadcast traffic: count a packet as delivered if every
-            // destination received it; no retransmissions.
+            // alive destination received it; no retransmissions.
             let mut generated = 0;
             let mut delivered = 0;
             for slot in round.data_slots() {
                 generated += 1;
                 let all = topology
                     .node_ids()
-                    .filter(|&n| n != slot.source)
+                    .filter(|&n| n != slot.source && alive[n.index()])
                     .all(|n| slot.flood.received(n));
                 if all {
                     delivered += 1;
@@ -949,6 +1037,141 @@ mod tests {
         }
         assert_eq!(engine.ntx(), 3);
         assert_eq!(Simulation::protocol(&engine), "static");
+    }
+
+    #[test]
+    fn empty_world_script_is_byte_identical_to_no_script() {
+        let topo = Topology::kiel_testbed_18(4);
+        let mut interference = dimmer_sim::CompositeInterference::new();
+        for j in PeriodicJammer::kiel_pair(0.25) {
+            interference.push(Box::new(j));
+        }
+        let mut plain = calm_runner(&topo, &interference, 31);
+        let mut scripted =
+            calm_runner(&topo, &interference, 31).with_world_script(ScenarioScript::new());
+        assert!(scripted.world().is_static());
+        assert_eq!(plain.run_rounds(10), scripted.run_rounds(10));
+    }
+
+    #[test]
+    fn node_churn_flows_into_reports_and_observations() {
+        let topo = Topology::kiel_testbed_18(2);
+        // 4-second rounds: fail two nodes before round 2, rejoin one before
+        // round 5.
+        let script = ScenarioScript::new()
+            .fail_node(SimTime::from_secs(8), dimmer_sim::NodeId(5))
+            .fail_node(SimTime::from_secs(8), dimmer_sim::NodeId(9))
+            .rejoin_node(SimTime::from_secs(20), dimmer_sim::NodeId(5));
+        let mut runner = calm_runner(&topo, &NoInterference, 3).with_world_script(script);
+        let reports = runner.run_rounds(7);
+        assert_eq!(reports[0].alive_nodes, 18);
+        assert_eq!(reports[1].alive_nodes, 18);
+        assert_eq!(reports[2].alive_nodes, 16, "two nodes fail before round 2");
+        assert_eq!(reports[4].alive_nodes, 16);
+        assert_eq!(reports[5].alive_nodes, 17, "one rejoins before round 5");
+        // Dead nodes are neither sources nor destinations: reliability stays
+        // high and the round has fewer data slots.
+        for r in &reports[2..5] {
+            assert!(
+                r.reliability > 0.9,
+                "round {}: {}",
+                r.round_index,
+                r.reliability
+            );
+        }
+        assert_eq!(runner.world().alive_count(), 17);
+    }
+
+    #[test]
+    fn link_drift_to_zero_causes_losses() {
+        // Cut every link of node 17 mid-run: its slots and receptions die.
+        let topo = Topology::kiel_testbed_18(1);
+        let mut script = ScenarioScript::new();
+        for other in 0..17u16 {
+            script = script.drift_link(
+                SimTime::from_secs(8),
+                dimmer_sim::NodeId(17),
+                dimmer_sim::NodeId(other),
+                0.0,
+            );
+        }
+        let mut runner = calm_runner(&topo, &NoInterference, 5).with_world_script(script);
+        let before = runner.run_rounds(2);
+        let after = runner.run_rounds(3);
+        assert!(before.iter().all(|r| r.reliability > 0.98));
+        // Node 17 is unreachable but still alive: every one of its
+        // (slot, destination) pairs and every slot targeting it misses.
+        for r in &after {
+            assert!(
+                r.reliability < 0.95,
+                "round {}: expected losses, got {}",
+                r.round_index,
+                r.reliability
+            );
+            assert_eq!(r.alive_nodes, 18, "drift does not change membership");
+        }
+    }
+
+    #[test]
+    fn epoch_driver_receives_world_hooks() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Seen {
+            events: usize,
+            alive_calls: usize,
+        }
+        struct ProbeDriver {
+            seen: Rc<RefCell<Seen>>,
+        }
+        impl EpochDriver for ProbeDriver {
+            fn run_epoch(&mut self, sources: &[NodeId], _period: SimDuration) -> EpochOutcome {
+                EpochOutcome {
+                    offered: sources.len(),
+                    delivered: sources.len(),
+                    mean_radio_on: SimDuration::from_millis(1),
+                    energy_joules: 0.1,
+                }
+            }
+            fn ntx(&self) -> u8 {
+                3
+            }
+            fn world_event(&mut self, _event: &dimmer_sim::WorldEvent) {
+                self.seen.borrow_mut().events += 1;
+            }
+            fn set_alive(&mut self, alive: &[bool]) {
+                self.seen.borrow_mut().alive_calls += 1;
+                assert_eq!(alive.iter().filter(|&&a| a).count(), 17);
+            }
+        }
+
+        let topo = Topology::kiel_testbed_18(1);
+        let seen = Rc::new(RefCell::new(Seen::default()));
+        let script = ScenarioScript::new()
+            .fail_node(SimTime::from_secs(4), dimmer_sim::NodeId(3))
+            .drift_link(
+                SimTime::from_secs(4),
+                dimmer_sim::NodeId(1),
+                dimmer_sim::NodeId(2),
+                0.5,
+            );
+        let mut engine = RoundEngine::with_epoch_driver(
+            &topo,
+            LwbConfig::testbed_default(),
+            DimmerConfig::default(),
+            StaticNtxController::new(3),
+            Box::new(ProbeDriver {
+                seen: Rc::clone(&seen),
+            }),
+            1,
+        )
+        .with_world_script(script);
+        let reports = engine.run_rounds(3);
+        assert_eq!(seen.borrow().events, 2, "both events forwarded");
+        assert_eq!(seen.borrow().alive_calls, 1, "one membership change");
+        assert_eq!(reports[0].alive_nodes, 18);
+        assert_eq!(reports[1].alive_nodes, 17);
     }
 
     #[test]

@@ -55,7 +55,7 @@ use crate::config::GlossyConfig;
 use crate::outcome::{FloodOutcome, NodeFloodOutcome};
 use dimmer_sim::{
     CompiledTopology, InterferenceModel, NodeId, RadioAccounting, RadioState, SimRng, SimTime,
-    SlotInterference, Topology,
+    SlotInterference, Topology, WorldEvent,
 };
 
 /// Sentinel for "no scheduled transmission" / "never switched off".
@@ -154,6 +154,10 @@ pub struct FloodSimulator<'a> {
     /// Precompiled per-node interference mask, when the model supports one.
     slot_interference: Option<Box<dyn SlotInterference>>,
     workspace: FloodWorkspace,
+    /// Dynamic-world membership: `None` in a static world (every node may
+    /// participate), `Some(mask)` once the world reported churn. Dead nodes
+    /// are excluded from every flood exactly like schedule-missing nodes.
+    alive: Option<Vec<bool>>,
 }
 
 impl<'a> FloodSimulator<'a> {
@@ -170,10 +174,15 @@ impl<'a> FloodSimulator<'a> {
             interference,
             slot_interference,
             workspace,
+            alive: None,
         }
     }
 
     /// The topology this simulator floods over.
+    ///
+    /// This is the *construction* topology; a dynamic world patches only
+    /// the [`compiled`](Self::compiled) view, so after world events the two
+    /// may disagree on link qualities.
     pub fn topology(&self) -> &Topology {
         self.topology
     }
@@ -183,7 +192,48 @@ impl<'a> FloodSimulator<'a> {
         &self.compiled
     }
 
-    /// Runs one flood in which every node participates.
+    /// Applies one dynamic-world event to the compiled topology (see
+    /// [`CompiledTopology::apply_event`]), returning whether the topology
+    /// changed. Membership events are ignored here — drive those through
+    /// [`set_alive`](Self::set_alive).
+    pub fn apply_world_event(&mut self, event: &WorldEvent) -> bool {
+        self.compiled.apply_event(event)
+    }
+
+    /// Installs the dynamic-world alive mask: nodes marked `false` keep
+    /// their radio off in every subsequent flood (no receptions, no
+    /// relays, no energy), exactly like nodes excluded by a participation
+    /// mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask does not cover every node.
+    pub fn set_alive(&mut self, alive: &[bool]) {
+        assert_eq!(
+            alive.len(),
+            self.compiled.num_nodes(),
+            "alive mask must cover every node"
+        );
+        self.alive = Some(alive.to_vec());
+    }
+
+    /// Removes the alive mask (back to the static world: everyone may
+    /// participate).
+    pub fn clear_alive(&mut self) {
+        self.alive = None;
+    }
+
+    /// The installed alive mask, if any.
+    pub fn alive(&self) -> Option<&[bool]> {
+        self.alive.as_deref()
+    }
+
+    /// Runs one flood in which every (alive) node participates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is out of range or currently dead (see
+    /// [`set_alive`](Self::set_alive)).
     pub fn flood(
         &mut self,
         cfg: &GlossyConfig,
@@ -194,6 +244,10 @@ impl<'a> FloodSimulator<'a> {
         assert!(
             initiator.index() < self.compiled.num_nodes(),
             "initiator out of range"
+        );
+        assert!(
+            self.alive.as_ref().is_none_or(|a| a[initiator.index()]),
+            "the initiator must be alive"
         );
         self.flood_impl(cfg, initiator, start, rng, None)
     }
@@ -224,6 +278,10 @@ impl<'a> FloodSimulator<'a> {
             participants[initiator.index()],
             "the initiator must participate in its own flood"
         );
+        assert!(
+            self.alive.as_ref().is_none_or(|a| a[initiator.index()]),
+            "the initiator must be alive"
+        );
         self.flood_impl(cfg, initiator, start, rng, Some(participants))
     }
 
@@ -239,6 +297,7 @@ impl<'a> FloodSimulator<'a> {
         let compiled = &self.compiled;
         let interference = self.interference;
         let slot_interference = &mut self.slot_interference;
+        let alive = self.alive.as_deref();
         let ws = &mut self.workspace;
         let n = compiled.num_nodes();
         let slot_dur = cfg.relay_slot_duration();
@@ -249,7 +308,7 @@ impl<'a> FloodSimulator<'a> {
         ws.reset(n);
 
         for i in 0..n {
-            let part = participants.is_none_or(|p| p[i]);
+            let part = alive.is_none_or(|a| a[i]) && participants.is_none_or(|p| p[i]);
             ws.participating[i] = part;
             if part {
                 ws.active.push(i as u16);
@@ -689,6 +748,104 @@ mod tests {
             let b = slow.flood(&cfg, NodeId(0), SimTime::ZERO, &mut SimRng::seed_from(seed));
             assert_eq!(a, b, "seed {seed} diverged from the reference");
         }
+    }
+
+    #[test]
+    fn alive_mask_equals_an_identical_participation_mask_bitwise() {
+        let topo = Topology::kiel_testbed_18(4);
+        let mut masked = FloodSimulator::new(&topo, &NoInterference);
+        let mut explicit = FloodSimulator::new(&topo, &NoInterference);
+        let cfg = GlossyConfig::default();
+        let mut mask = vec![true; topo.num_nodes()];
+        mask[3] = false;
+        mask[11] = false;
+        mask[17] = false;
+        masked.set_alive(&mask);
+        for seed in 0..10u64 {
+            let a = masked.flood(&cfg, NodeId(0), SimTime::ZERO, &mut SimRng::seed_from(seed));
+            let b = explicit.flood_with_participants(
+                &cfg,
+                NodeId(0),
+                SimTime::ZERO,
+                &mut SimRng::seed_from(seed),
+                &mask,
+            );
+            assert_eq!(
+                a, b,
+                "seed {seed}: alive mask must equal participation mask"
+            );
+        }
+        // Dead nodes stay cold, and intersect with an explicit mask.
+        let mut also = vec![true; topo.num_nodes()];
+        also[5] = false;
+        let out = masked.flood_with_participants(
+            &cfg,
+            NodeId(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+            &also,
+        );
+        for dead in [3usize, 5, 11, 17] {
+            assert!(!out.per_node()[dead].participated);
+            assert_eq!(out.per_node()[dead].radio.on_time(), SimDuration::ZERO);
+        }
+        // Clearing the mask restores full participation.
+        masked.clear_alive();
+        let full = masked.flood(&cfg, NodeId(0), SimTime::ZERO, &mut SimRng::seed_from(2));
+        assert!(full.per_node().iter().all(|o| o.participated));
+    }
+
+    #[test]
+    fn world_events_patch_the_compiled_view() {
+        let topo = Topology::line(3, 6.0, 1);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
+        let changed = sim.apply_world_event(&dimmer_sim::WorldEvent::LinkDrift {
+            a: NodeId(0),
+            b: NodeId(1),
+            prr: 0.0,
+        });
+        assert!(changed);
+        assert_eq!(sim.compiled().prr(NodeId(0), NodeId(1)), 0.0);
+        // Membership events do not touch the topology.
+        assert!(!sim.apply_world_event(&dimmer_sim::WorldEvent::NodeFail(NodeId(1))));
+        // The construction topology is untouched (only the compiled view
+        // drifts).
+        assert!(sim.topology().link(NodeId(0), NodeId(1)).prr() > 0.0);
+    }
+
+    #[test]
+    fn severed_links_change_flood_outcomes() {
+        // Cutting both links of the middle line node isolates the far end.
+        let topo = Topology::line(3, 6.0, 2);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
+        for (a, b) in [(0u16, 1u16), (1, 2), (0, 2)] {
+            sim.apply_world_event(&dimmer_sim::WorldEvent::LinkDrift {
+                a: NodeId(a),
+                b: NodeId(b),
+                prr: 0.0,
+            });
+        }
+        let out = sim.flood(
+            &GlossyConfig::default(),
+            NodeId(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(3),
+        );
+        assert_eq!(out.reach_count(), 1, "all links are down");
+    }
+
+    #[test]
+    #[should_panic(expected = "initiator must be alive")]
+    fn dead_initiator_is_rejected() {
+        let topo = Topology::line(3, 6.0, 1);
+        let mut sim = FloodSimulator::new(&topo, &NoInterference);
+        sim.set_alive(&[true, false, true]);
+        sim.flood(
+            &GlossyConfig::default(),
+            NodeId(1),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(1),
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::schedule::Schedule;
 use dimmer_glossy::{FloodOutcome, FloodSimulator, GlossyConfig, NodeFloodOutcome};
 use dimmer_sim::{
     Channel, InterferenceModel, NodeId, RadioAccounting, RadioState, SimDuration, SimRng, SimTime,
-    Topology,
+    Topology, WorldEvent,
 };
 
 /// The outcome of one data slot.
@@ -35,6 +35,10 @@ pub struct RoundOutcome {
     schedule: Schedule,
     control: FloodOutcome,
     synced: Vec<bool>,
+    /// Dynamic-world membership during the round (all `true` in a static
+    /// world). Dead nodes are excluded from reliability, loss and radio
+    /// accounting: a crashed node is not a destination and spends nothing.
+    alive: Vec<bool>,
     data: Vec<SlotOutcome>,
     slot_duration: SimDuration,
 }
@@ -66,6 +70,17 @@ impl RoundOutcome {
         &self.synced
     }
 
+    /// Which nodes were alive during the round (all `true` in a static
+    /// world).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of alive nodes during the round.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
     /// The executed data slots, in schedule order.
     pub fn data_slots(&self) -> &[SlotOutcome] {
         &self.data
@@ -84,8 +99,9 @@ impl RoundOutcome {
 
     /// Broadcast reliability of the round: the fraction of
     /// (data slot, destination) pairs that were delivered, where the
-    /// destinations of a slot are all nodes except the source. Returns 1.0
-    /// for a round without data slots.
+    /// destinations of a slot are all *alive* nodes except the source.
+    /// Returns 1.0 for a round without data slots (or without
+    /// destinations).
     pub fn broadcast_reliability(&self) -> f64 {
         let n = self.num_nodes();
         if self.data.is_empty() || n <= 1 {
@@ -96,7 +112,7 @@ impl RoundOutcome {
         for slot in &self.data {
             for node in 0..n {
                 let node = NodeId(node as u16);
-                if node == slot.source {
+                if node == slot.source || !self.alive[node.index()] {
                     continue;
                 }
                 total += 1;
@@ -104,6 +120,9 @@ impl RoundOutcome {
                     delivered += 1;
                 }
             }
+        }
+        if total == 0 {
+            return 1.0;
         }
         delivered as f64 / total as f64
     }
@@ -123,14 +142,14 @@ impl RoundOutcome {
     }
 
     /// Number of missed (data slot, destination) pairs under broadcast
-    /// semantics.
+    /// semantics; dead nodes are not destinations.
     pub fn losses(&self) -> usize {
         let n = self.num_nodes();
         let mut missed = 0usize;
         for slot in &self.data {
             for node in 0..n {
                 let node = NodeId(node as u16);
-                if node != slot.source && !slot.flood.received(node) {
+                if node != slot.source && self.alive[node.index()] && !slot.flood.received(node) {
                     missed += 1;
                 }
             }
@@ -152,9 +171,10 @@ impl RoundOutcome {
 
     /// The radio-on time of `node`, averaged over the round's data slots
     /// (the paper's radio-on-time metric). Unsynchronized nodes are charged
-    /// a full listen slot per data slot (they scan to resynchronize).
+    /// a full listen slot per data slot (they scan to resynchronize); dead
+    /// nodes spend nothing.
     pub fn node_radio_on_per_slot(&self, node: NodeId) -> SimDuration {
-        if self.data.is_empty() {
+        if self.data.is_empty() || !self.alive[node.index()] {
             return SimDuration::ZERO;
         }
         let total_us: u64 = self
@@ -171,21 +191,26 @@ impl RoundOutcome {
         SimDuration::from_micros(total_us / self.data.len() as u64)
     }
 
-    /// The per-slot radio-on time averaged over every node in the network.
+    /// The per-slot radio-on time averaged over every *alive* node in the
+    /// network.
     pub fn mean_radio_on_per_slot(&self) -> SimDuration {
-        let n = self.num_nodes();
-        if n == 0 {
+        let alive = self.alive_count();
+        if alive == 0 {
             return SimDuration::ZERO;
         }
-        let total: u64 = (0..n)
+        let total: u64 = (0..self.num_nodes())
             .map(|i| self.node_radio_on_per_slot(NodeId(i as u16)).as_micros())
             .sum();
-        SimDuration::from_micros(total / n as u64)
+        SimDuration::from_micros(total / alive as u64)
     }
 
     /// The total radio accounting of `node` over the whole round (control +
-    /// data slots), used for the Fig. 7 energy comparison.
+    /// data slots), used for the Fig. 7 energy comparison. Dead nodes have
+    /// their radio off for the whole round.
     pub fn node_round_radio(&self, node: NodeId) -> RadioAccounting {
+        if !self.alive[node.index()] {
+            return RadioAccounting::new();
+        }
         let mut acc = self.control.node(node).radio.clone();
         for s in &self.data {
             if self.synced[node.index()] {
@@ -235,6 +260,19 @@ impl<'a> RoundExecutor<'a> {
         &self.config
     }
 
+    /// Applies one dynamic-world event to the executor's compiled substrate
+    /// (see [`FloodSimulator::apply_world_event`]).
+    pub fn apply_world_event(&mut self, event: &WorldEvent) -> bool {
+        self.flood.apply_world_event(event)
+    }
+
+    /// Installs the dynamic-world alive mask: dead nodes are excluded from
+    /// the control flood (so they can never sync), from every data slot,
+    /// and from the round's reliability/energy accounting.
+    pub fn set_alive(&mut self, alive: &[bool]) {
+        self.flood.set_alive(alive);
+    }
+
     /// The minimum retransmission count used for control slots (schedules
     /// must stay robust even when the data plane runs a small `N_TX`).
     const CONTROL_MIN_NTX: u8 = 3;
@@ -261,6 +299,13 @@ impl<'a> RoundExecutor<'a> {
             ..GlossyConfig::default()
         };
         let control = self.flood.flood(&control_cfg, coordinator, start, rng);
+        let alive: Vec<bool> = match self.flood.alive() {
+            Some(mask) => mask.to_vec(),
+            None => vec![true; n],
+        };
+        // A dead node never hears the schedule: `synced` is automatically
+        // false for it (the control flood masked it out), which keeps it
+        // silent in every data slot.
         let synced: Vec<bool> = (0..n).map(|i| control.received(NodeId(i as u16))).collect();
 
         // One data-slot config for the whole round: only the channel varies
@@ -325,6 +370,7 @@ impl<'a> RoundExecutor<'a> {
             schedule: schedule.clone(),
             control,
             synced,
+            alive,
             data,
             slot_duration: self.config.slot_duration,
         }
@@ -484,6 +530,60 @@ mod tests {
         assert_eq!(round.broadcast_reliability(), 1.0);
         assert_eq!(round.mean_radio_on_per_slot(), SimDuration::ZERO);
         assert_eq!(round.losses(), 0);
+    }
+
+    #[test]
+    fn dead_nodes_are_skipped_by_schedule_and_accounting() {
+        let topo = Topology::kiel_testbed_18(1);
+        let cfg = LwbConfig::testbed_default();
+        let mut scheduler = LwbScheduler::new(cfg.clone());
+        let mut exec = RoundExecutor::new(&topo, &NoInterference, cfg);
+        let mut alive = vec![true; topo.num_nodes()];
+        alive[7] = false;
+        alive[12] = false;
+        exec.set_alive(&alive);
+        // The engine filters dead sources out of the schedule; mirror that.
+        let sources: Vec<NodeId> = topo.node_ids().filter(|n| alive[n.index()]).collect();
+        let schedule = scheduler.next_schedule(&sources, NtxAssignment::Uniform(3));
+        let round = exec.run_round(&schedule, SimTime::ZERO, &mut SimRng::seed_from(5));
+        assert_eq!(round.alive_count(), 16);
+        assert_eq!(round.data_slots().len(), 16);
+        for dead in [NodeId(7), NodeId(12)] {
+            assert!(!round.synced()[dead.index()], "dead nodes never sync");
+            assert_eq!(round.node_radio_on_per_slot(dead), SimDuration::ZERO);
+            assert_eq!(
+                round.node_round_radio(dead).on_time(),
+                SimDuration::ZERO,
+                "dead nodes spend nothing"
+            );
+        }
+        // Dead nodes are not destinations: a calm round stays near-perfect
+        // even though two nodes are gone.
+        assert!(
+            round.broadcast_reliability() > 0.98,
+            "got {}",
+            round.broadcast_reliability()
+        );
+    }
+
+    #[test]
+    fn dead_source_slot_behaves_like_an_unsynced_source() {
+        let topo = Topology::kiel_testbed_18(1);
+        let cfg = LwbConfig::testbed_default();
+        let mut scheduler = LwbScheduler::new(cfg.clone());
+        let mut exec = RoundExecutor::new(&topo, &NoInterference, cfg);
+        let mut alive = vec![true; topo.num_nodes()];
+        alive[3] = false;
+        exec.set_alive(&alive);
+        // Belt and suspenders: even if a dead node *is* scheduled, its slot
+        // delivers nothing (it cannot have synced).
+        let schedule = scheduler.next_schedule(&[NodeId(3), NodeId(5)], NtxAssignment::Uniform(3));
+        let round = exec.run_round(&schedule, SimTime::ZERO, &mut SimRng::seed_from(2));
+        let slot = &round.data_slots()[0];
+        assert_eq!(slot.source, NodeId(3));
+        for node in topo.node_ids().filter(|&n| n != NodeId(3)) {
+            assert!(!slot.flood.received(node));
+        }
     }
 
     proptest! {

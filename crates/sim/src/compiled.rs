@@ -22,6 +22,7 @@
 //! staying **bit-identical** to the dense reference implementation.
 
 use crate::topology::{NodeId, Position, Topology};
+use crate::world::WorldEvent;
 
 /// Number of link-quality buckets exposed by [`CompiledTopology`].
 pub const QUALITY_BUCKETS: usize = 10;
@@ -318,6 +319,105 @@ impl CompiledTopology {
         })
     }
 
+    /// Incrementally patches one directional link to `new_prr`, updating
+    /// the dense PRR and miss-factor matrices and both CSR views in place.
+    ///
+    /// The result is **identical** (full struct equality, CSR layout
+    /// included) to rebuilding via [`from_prr_matrix`](Self::from_prr_matrix)
+    /// with the patched matrix — pinned by a property test — but costs
+    /// `O(degree)` when the link stays material (or stays immaterial) and
+    /// `O(total links)` when it appears or vanishes, instead of the `O(n²)`
+    /// full recompilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range, if `from == to`, or if
+    /// `new_prr` is outside `[0, 1]`.
+    pub fn set_prr(&mut self, from: NodeId, to: NodeId, new_prr: f64) {
+        let n = self.num_nodes;
+        let (i, j) = (from.index(), to.index());
+        assert!(i < n && j < n, "node out of range");
+        assert!(i != j, "a link needs two distinct endpoints");
+        assert!((0.0..=1.0).contains(&new_prr), "PRR must be in [0, 1]");
+        let old = self.prr[i * n + j];
+        if old.to_bits() == new_prr.to_bits() {
+            return;
+        }
+        self.prr[i * n + j] = new_prr;
+        self.miss_factor[j * n + i] = 1.0 - new_prr;
+        let (was, is) = (Self::link_matters(old), Self::link_matters(new_prr));
+        // Out-link CSR row of `from`, keyed by destination `to`.
+        match csr_patch(&mut self.row_ptr, &mut self.col_idx, i, j as u16, was, is) {
+            CsrPatch::InPlace(pos) => {
+                self.link_prr[pos] = new_prr;
+                self.link_bucket[pos] = Self::quality_bucket(new_prr);
+            }
+            CsrPatch::Inserted(pos) => {
+                self.link_prr.insert(pos, new_prr);
+                self.link_bucket.insert(pos, Self::quality_bucket(new_prr));
+            }
+            CsrPatch::Removed(pos) => {
+                self.link_prr.remove(pos);
+                self.link_bucket.remove(pos);
+            }
+            CsrPatch::Untouched => {}
+        }
+        // In-link CSR row of `to`, keyed by source `from`.
+        match csr_patch(
+            &mut self.in_row_ptr,
+            &mut self.in_col_idx,
+            j,
+            i as u16,
+            was,
+            is,
+        ) {
+            CsrPatch::InPlace(pos) => self.in_factor[pos] = 1.0 - new_prr,
+            CsrPatch::Inserted(pos) => self.in_factor.insert(pos, 1.0 - new_prr),
+            CsrPatch::Removed(pos) => {
+                self.in_factor.remove(pos);
+            }
+            CsrPatch::Untouched => {}
+        }
+    }
+
+    /// Applies one [`WorldEvent`] to the compiled view, returning whether
+    /// the topology changed.
+    ///
+    /// * [`WorldEvent::LinkDrift`] patches both directions incrementally
+    ///   via [`set_prr`](Self::set_prr);
+    /// * [`WorldEvent::TopologySwap`] rebuilds from the new matrix
+    ///   (inherently a full recompilation), preserving positions and
+    ///   coordinator;
+    /// * membership and jammer events are topology no-ops (`false`) —
+    ///   node failures are an *aliveness* concern handled by
+    ///   [`World`](crate::World), so a later rejoin restores the world
+    ///   exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes, a swap matrix that is not `n × n`, or
+    /// PRR values outside `[0, 1]`.
+    pub fn apply_event(&mut self, event: &WorldEvent) -> bool {
+        match event {
+            WorldEvent::LinkDrift { a, b, prr } => {
+                self.set_prr(*a, *b, *prr);
+                self.set_prr(*b, *a, *prr);
+                true
+            }
+            WorldEvent::TopologySwap { prr } => {
+                *self = Self::from_prr_matrix(
+                    std::mem::take(&mut self.positions),
+                    self.coordinator,
+                    prr.clone(),
+                );
+                true
+            }
+            WorldEvent::NodeFail(_)
+            | WorldEvent::NodeRejoin(_)
+            | WorldEvent::JammerRelocate { .. } => false,
+        }
+    }
+
     /// Histogram of stored links per quality bucket.
     pub fn bucket_histogram(&self) -> [usize; QUALITY_BUCKETS] {
         let mut hist = [0usize; QUALITY_BUCKETS];
@@ -325,6 +425,63 @@ impl CompiledTopology {
             hist[b as usize] += 1;
         }
         hist
+    }
+}
+
+/// What [`csr_patch`] did to the structural arrays; tells the caller which
+/// parallel-value position to mirror the change at.
+enum CsrPatch {
+    /// The key exists before and after: update values at this flat index.
+    InPlace(usize),
+    /// The key was inserted at this flat index (row offsets shifted).
+    Inserted(usize),
+    /// The key was removed from this flat index (row offsets shifted).
+    Removed(usize),
+    /// The key is absent before and after: nothing to mirror.
+    Untouched,
+}
+
+/// Patches one `(row, key)` entry of a CSR structure: updates `col_idx` and
+/// the row offsets, keeping the row's keys ascending, and reports where the
+/// caller must mirror the change in its parallel value arrays.
+fn csr_patch(
+    row_ptr: &mut [u32],
+    col_idx: &mut Vec<u16>,
+    row: usize,
+    key: u16,
+    was_stored: bool,
+    is_stored: bool,
+) -> CsrPatch {
+    let lo = row_ptr[row] as usize;
+    let hi = row_ptr[row + 1] as usize;
+    match (was_stored, is_stored) {
+        (false, false) => CsrPatch::Untouched,
+        (true, true) => {
+            let pos = lo
+                + col_idx[lo..hi]
+                    .binary_search(&key)
+                    .expect("stored link must be present in its CSR row");
+            CsrPatch::InPlace(pos)
+        }
+        (false, true) => {
+            let pos = lo + col_idx[lo..hi].partition_point(|&k| k < key);
+            col_idx.insert(pos, key);
+            for p in &mut row_ptr[row + 1..] {
+                *p += 1;
+            }
+            CsrPatch::Inserted(pos)
+        }
+        (true, false) => {
+            let pos = lo
+                + col_idx[lo..hi]
+                    .binary_search(&key)
+                    .expect("stored link must be present in its CSR row");
+            col_idx.remove(pos);
+            for p in &mut row_ptr[row + 1..] {
+                *p -= 1;
+            }
+            CsrPatch::Removed(pos)
+        }
     }
 }
 
@@ -493,5 +650,192 @@ mod tests {
     #[should_panic(expected = "coordinator must be one of the nodes")]
     fn from_prr_matrix_rejects_bad_coordinator() {
         CompiledTopology::from_prr_matrix(vec![Position::new(0.0, 0.0)], NodeId(3), vec![0.0]);
+    }
+
+    #[test]
+    fn set_prr_patches_all_views_in_place() {
+        let topo = Topology::kiel_testbed_18(3);
+        let mut c = CompiledTopology::compile(&topo);
+        // Directional patch: only 2 -> 5 changes.
+        c.set_prr(NodeId(2), NodeId(5), 0.1234);
+        assert_eq!(c.prr(NodeId(2), NodeId(5)), 0.1234);
+        assert_ne!(c.prr(NodeId(5), NodeId(2)), 0.1234);
+        assert_eq!(c.miss_factor_row(5)[2], 1.0 - 0.1234);
+        let link = c.neighbors(NodeId(2)).find(|l| l.to == NodeId(5)).unwrap();
+        assert_eq!(link.prr, 0.1234);
+        assert_eq!(link.bucket, CompiledTopology::quality_bucket(0.1234));
+        let (sources, factors) = c.in_neighbor_slices(5);
+        let pos = sources.iter().position(|&s| s == 2).unwrap();
+        assert_eq!(factors[pos], 1.0 - 0.1234);
+    }
+
+    #[test]
+    fn set_prr_inserts_and_removes_csr_links() {
+        // 0 -> 1 and 0 -> 2 material, 0 -> 3 absent.
+        let positions = (0..4).map(|i| Position::new(i as f64, 0.0)).collect();
+        let mut prr = vec![0.0; 16];
+        prr[1] = 0.9;
+        prr[2] = 0.4;
+        let mut c = CompiledTopology::from_prr_matrix(positions, NodeId(0), prr);
+        assert_eq!(c.out_degree(NodeId(0)), 2);
+        assert_eq!(c.in_degree(NodeId(3)), 0);
+
+        // Drifting 0 -> 3 up inserts the link at the right sorted spot...
+        c.set_prr(NodeId(0), NodeId(3), 0.8);
+        assert_eq!(c.out_degree(NodeId(0)), 3);
+        assert_eq!(c.in_degree(NodeId(3)), 1);
+        let dests: Vec<u16> = c.neighbors(NodeId(0)).map(|l| l.to.0).collect();
+        assert_eq!(dests, vec![1, 2, 3]);
+        // ...and drifting it to zero removes it again.
+        c.set_prr(NodeId(0), NodeId(3), 0.0);
+        assert_eq!(c.out_degree(NodeId(0)), 2);
+        assert_eq!(c.in_degree(NodeId(3)), 0);
+        // A sub-ULP PRR is just as immaterial as zero.
+        c.set_prr(NodeId(0), NodeId(3), 1e-18);
+        assert_eq!(c.out_degree(NodeId(0)), 2);
+        assert_eq!(c.prr(NodeId(0), NodeId(3)), 1e-18);
+    }
+
+    #[test]
+    fn apply_event_link_drift_is_symmetric() {
+        let topo = Topology::kiel_testbed_18(1);
+        let mut c = CompiledTopology::compile(&topo);
+        let changed = c.apply_event(&crate::world::WorldEvent::LinkDrift {
+            a: NodeId(1),
+            b: NodeId(4),
+            prr: 0.25,
+        });
+        assert!(changed);
+        assert_eq!(c.prr(NodeId(1), NodeId(4)), 0.25);
+        assert_eq!(c.prr(NodeId(4), NodeId(1)), 0.25);
+    }
+
+    #[test]
+    fn apply_event_membership_events_are_topology_no_ops() {
+        let topo = Topology::kiel_testbed_18(1);
+        let mut c = CompiledTopology::compile(&topo);
+        let before = c.clone();
+        assert!(!c.apply_event(&crate::world::WorldEvent::NodeFail(NodeId(3))));
+        assert!(!c.apply_event(&crate::world::WorldEvent::NodeRejoin(NodeId(3))));
+        assert!(!c.apply_event(&crate::world::WorldEvent::JammerRelocate {
+            jammer: 0,
+            to: Position::new(1.0, 2.0),
+        }));
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn apply_event_topology_swap_rebuilds_but_keeps_positions() {
+        let topo = Topology::line(3, 8.0, 1);
+        let mut c = CompiledTopology::compile(&topo);
+        let positions = c.positions().to_vec();
+        let new_prr = vec![0.0, 0.9, 0.0, 0.9, 0.0, 0.7, 0.0, 0.7, 0.0];
+        assert!(c.apply_event(&crate::world::WorldEvent::TopologySwap {
+            prr: new_prr.clone(),
+        }));
+        assert_eq!(c.positions(), &positions[..]);
+        assert_eq!(c.coordinator(), topo.coordinator());
+        assert_eq!(
+            c,
+            CompiledTopology::from_prr_matrix(positions, topo.coordinator(), new_prr)
+        );
+    }
+
+    mod patch_equivalence {
+        use super::*;
+        use crate::world::WorldEvent;
+        use proptest::prelude::*;
+
+        /// Decodes a selector into a PRR that exercises the material /
+        /// immaterial transitions: 0.0 and 1e-18 are dropped from the CSR
+        /// (`1 - prr == 1.0` bitwise), 1.0 and the interior values stored.
+        fn decode_prr(sel: u32) -> f64 {
+            match sel {
+                0 => 0.0,
+                1 => 1e-18,
+                2 => 1.0,
+                s => (s % 99) as f64 / 100.0 + 0.01,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            /// The satellite invariant: a chain of `apply_event` calls ends
+            /// in *exactly* the struct a full recompilation of the final
+            /// matrix produces — dense PRR and miss-factor matrices, both
+            /// CSR layouts and the quality buckets included.
+            #[test]
+            fn prop_apply_event_chain_equals_full_recompile(
+                seed in 0u64..50,
+                events in proptest::collection::vec((0u16..12, 0u16..12, 0u32..1000), 1..40),
+                swap_sel in 0usize..80,
+            ) {
+                let topo = Topology::random(12, 40.0, 40.0, seed);
+                let mut patched = CompiledTopology::compile(&topo);
+                let n = patched.num_nodes();
+                // Interleave a full swap in half the cases.
+                let swap_at = (swap_sel < 40).then_some(swap_sel);
+                // Shadow dense matrix receiving the same edits.
+                let mut shadow: Vec<f64> = (0..n * n)
+                    .map(|k| patched.prr(NodeId((k / n) as u16), NodeId((k % n) as u16)))
+                    .collect();
+                for (idx, &(a, b, sel)) in events.iter().enumerate() {
+                    let prr = decode_prr(sel);
+                    if a == b {
+                        continue;
+                    }
+                    if swap_at == Some(idx) {
+                        // Occasionally interleave a full swap to a uniform
+                        // mid-quality matrix.
+                        let swap: Vec<f64> = (0..n * n)
+                            .map(|k| if k / n == k % n { 0.0 } else { 0.5 })
+                            .collect();
+                        patched.apply_event(&WorldEvent::TopologySwap { prr: swap.clone() });
+                        shadow = swap;
+                    }
+                    patched.apply_event(&WorldEvent::LinkDrift {
+                        a: NodeId(a),
+                        b: NodeId(b),
+                        prr,
+                    });
+                    shadow[a as usize * n + b as usize] = prr;
+                    shadow[b as usize * n + a as usize] = prr;
+                }
+                let recompiled = CompiledTopology::from_prr_matrix(
+                    patched.positions().to_vec(),
+                    patched.coordinator(),
+                    shadow,
+                );
+                prop_assert_eq!(patched, recompiled);
+            }
+
+            /// Directional patches agree with recompilation too (the CSR is
+            /// per-direction, so asymmetric drift must stay exact).
+            #[test]
+            fn prop_directional_set_prr_equals_recompile(
+                seed in 0u64..50,
+                edits in proptest::collection::vec((0u16..10, 0u16..10, 0.0f64..1.0), 1..30),
+            ) {
+                let topo = Topology::random(10, 35.0, 35.0, seed);
+                let mut patched = CompiledTopology::compile(&topo);
+                let n = patched.num_nodes();
+                let mut shadow: Vec<f64> = (0..n * n)
+                    .map(|k| patched.prr(NodeId((k / n) as u16), NodeId((k % n) as u16)))
+                    .collect();
+                for &(from, to, prr) in &edits {
+                    if from == to {
+                        continue;
+                    }
+                    patched.set_prr(NodeId(from), NodeId(to), prr);
+                    shadow[from as usize * n + to as usize] = prr;
+                }
+                let recompiled = CompiledTopology::from_prr_matrix(
+                    patched.positions().to_vec(),
+                    patched.coordinator(),
+                    shadow,
+                );
+                prop_assert_eq!(patched, recompiled);
+            }
+        }
     }
 }

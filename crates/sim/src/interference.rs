@@ -204,17 +204,23 @@ impl PeriodicJammer {
     }
 
     /// Creates a jammer producing 13 ms bursts at the given duty cycle
-    /// (`0 < duty_cycle <= 1`), matching the paper's interference-ratio
-    /// definition.
+    /// (`0 <= duty_cycle <= 1`), matching the paper's interference-ratio
+    /// definition. The boundary values are exact: `0.0` never emits (and
+    /// reports [`is_always_idle`](InterferenceModel::is_always_idle)),
+    /// `1.0` jams continuously (`burst == period`).
     ///
     /// # Panics
     ///
-    /// Panics if `duty_cycle` is not in `(0, 1]`.
+    /// Panics if `duty_cycle` is not in `[0, 1]`.
     pub fn with_duty_cycle(position: Position, duty_cycle: f64) -> Self {
         assert!(
-            duty_cycle > 0.0 && duty_cycle <= 1.0,
-            "duty cycle must be in (0, 1]"
+            (0.0..=1.0).contains(&duty_cycle),
+            "duty cycle must be in [0, 1]"
         );
+        if duty_cycle == 0.0 {
+            // A silent jammer: zero-length bursts on an arbitrary period.
+            return Self::new(position, SimDuration::ZERO, BURST_DURATION);
+        }
         let period_us = (BURST_DURATION.as_micros() as f64 / duty_cycle).round() as u64;
         Self::new(
             position,
@@ -268,10 +274,15 @@ impl PeriodicJammer {
     /// Corruption strength (`0..=1`) experienced at distance `d` from the
     /// jammer while a burst is on the air.
     fn strength_at(&self, at: Position) -> f64 {
-        let d = self.position.distance_to(at);
-        // Smooth roll-off: ~1 inside the jam radius, ~0.5 at 1.35x the radius,
-        // negligible beyond ~2.5x the radius.
-        1.0 / (1.0 + (d / self.jam_radius_m).powi(6))
+        Self::strength_between(self.position, at, self.jam_radius_m)
+    }
+
+    /// The distance roll-off shared by the static and mobile jammer forms:
+    /// ~1 inside the jam radius, ~0.5 at 1.35x the radius, negligible
+    /// beyond ~2.5x the radius.
+    fn strength_between(jammer: Position, at: Position, radius_m: f64) -> f64 {
+        let d = jammer.distance_to(at);
+        1.0 / (1.0 + (d / radius_m).powi(6))
     }
 
     fn affects_channel(&self, channel: Channel) -> bool {
@@ -284,7 +295,7 @@ impl PeriodicJammer {
     /// Fraction of `[start, start+duration)` covered by bursts, ignoring
     /// channel and position.
     fn burst_overlap_fraction(&self, start: SimTime, duration_us: u64) -> f64 {
-        if duration_us == 0 {
+        if duration_us == 0 || self.burst.as_micros() == 0 {
             return 0.0;
         }
         let period = self.period.as_micros();
@@ -326,6 +337,12 @@ impl InterferenceModel for PeriodicJammer {
         }
         let overlap = self.burst_overlap_fraction(start, duration_us);
         (overlap * self.strength_at(at)).clamp(0.0, 1.0)
+    }
+
+    fn is_always_idle(&self) -> bool {
+        // A zero-duty jammer never emits; a jammer restricted to an empty
+        // channel list can never affect a query.
+        self.burst.as_micros() == 0 || self.channels.as_ref().is_some_and(|c| c.is_empty())
     }
 
     fn compile_for(&self, positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
@@ -373,6 +390,150 @@ impl SlotInterference for CompiledJammer {
         for (o, &s) in out[..n].iter_mut().zip(&self.strengths) {
             // Same expression as `busy_fraction`, with `strength_at`
             // replaced by its cached (identical) value.
+            *o = (overlap * s).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// A [`PeriodicJammer`] that relocates over time: the roaming interference
+/// source of the dynamic-world scenarios.
+///
+/// The jammer keeps its burst pattern (period, phase, duty cycle, channels,
+/// jam radius) but its *position* is a piecewise-constant function of
+/// simulated time given by a waypoint list: at time `t` it sits at the
+/// waypoint with the greatest timestamp `<= t` (and at the base jammer's
+/// position before the first waypoint). Relocations are instantaneous,
+/// matching the paper's experiments where a jammer is carried to a new spot
+/// between measurement phases.
+///
+/// Waypoint lists are usually derived from a scenario script's
+/// [`JammerRelocate`](crate::world::WorldEvent::JammerRelocate) events via
+/// [`ScenarioScript::jammer_waypoints`](crate::world::ScenarioScript::jammer_waypoints).
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_sim::{MobileJammer, PeriodicJammer, InterferenceModel, SimTime, Channel, Position};
+/// let base = PeriodicJammer::with_duty_cycle(Position::new(0.0, 0.0), 1.0);
+/// let jam = MobileJammer::new(base, vec![(SimTime::from_secs(60), Position::new(100.0, 0.0))]);
+/// let near_t0 = jam.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, Position::new(1.0, 0.0));
+/// let near_t60 = jam.busy_fraction(SimTime::from_secs(60), 13_000, Channel::CONTROL, Position::new(1.0, 0.0));
+/// assert!(near_t0 > 0.9, "jammer starts next to the receiver");
+/// assert!(near_t60 < 0.05, "after relocating 100 m away it barely registers");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobileJammer {
+    base: PeriodicJammer,
+    /// `(time, position)` waypoints, ascending by time.
+    waypoints: Vec<(SimTime, Position)>,
+}
+
+impl MobileJammer {
+    /// Creates a mobile jammer from a base burst pattern and a waypoint
+    /// list (sorted by time internally; equal timestamps keep their order,
+    /// the later entry winning).
+    pub fn new(base: PeriodicJammer, mut waypoints: Vec<(SimTime, Position)>) -> Self {
+        waypoints.sort_by_key(|(t, _)| *t);
+        MobileJammer { base, waypoints }
+    }
+
+    /// The burst pattern the jammer emits wherever it currently sits.
+    pub fn base(&self) -> &PeriodicJammer {
+        &self.base
+    }
+
+    /// The waypoint list, ascending by time.
+    pub fn waypoints(&self) -> &[(SimTime, Position)] {
+        &self.waypoints
+    }
+
+    /// Index of the waypoint segment active at `t`: the number of waypoints
+    /// with timestamp `<= t` (0 = still at the base position).
+    fn segment_at(&self, t: SimTime) -> usize {
+        self.waypoints.partition_point(|(w, _)| *w <= t)
+    }
+
+    /// The jammer's position at time `t`.
+    pub fn position_at(&self, t: SimTime) -> Position {
+        match self.segment_at(t) {
+            0 => self.base.position(),
+            s => self.waypoints[s - 1].1,
+        }
+    }
+}
+
+impl InterferenceModel for MobileJammer {
+    fn busy_fraction(
+        &self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        at: Position,
+    ) -> f64 {
+        if !self.base.affects_channel(channel) {
+            return 0.0;
+        }
+        let overlap = self.base.burst_overlap_fraction(start, duration_us);
+        let strength =
+            PeriodicJammer::strength_between(self.position_at(start), at, self.base.jam_radius_m);
+        (overlap * strength).clamp(0.0, 1.0)
+    }
+
+    fn is_always_idle(&self) -> bool {
+        self.base.is_always_idle()
+    }
+
+    fn compile_for(&self, positions: &[Position]) -> Option<Box<dyn SlotInterference>> {
+        Some(Box::new(CompiledMobileJammer {
+            jammer: self.clone(),
+            positions: positions.to_vec(),
+            segment: usize::MAX,
+            strengths: vec![0.0; positions.len()],
+        }))
+    }
+}
+
+/// Compiled form of [`MobileJammer`]: per-node strengths are cached per
+/// waypoint segment and recomputed only when the jammer actually moved.
+#[derive(Debug)]
+struct CompiledMobileJammer {
+    jammer: MobileJammer,
+    positions: Vec<Position>,
+    /// The waypoint segment the cached strengths were computed for
+    /// (`usize::MAX` = not yet computed).
+    segment: usize,
+    strengths: Vec<f64>,
+}
+
+impl SlotInterference for CompiledMobileJammer {
+    fn busy_for_slot(
+        &mut self,
+        start: SimTime,
+        duration_us: u64,
+        channel: Channel,
+        out: &mut [f64],
+    ) {
+        let n = self.positions.len();
+        if !self.jammer.base.affects_channel(channel) {
+            out[..n].fill(0.0);
+            return;
+        }
+        let overlap = self.jammer.base.burst_overlap_fraction(start, duration_us);
+        if overlap == 0.0 {
+            out[..n].fill(0.0);
+            return;
+        }
+        let segment = self.jammer.segment_at(start);
+        if segment != self.segment {
+            let pos = self.jammer.position_at(start);
+            let radius = self.jammer.base.jam_radius_m;
+            for (s, &p) in self.strengths.iter_mut().zip(&self.positions) {
+                // The identical expression `busy_fraction` evaluates.
+                *s = PeriodicJammer::strength_between(pos, p, radius);
+            }
+            self.segment = segment;
+        }
+        for (o, &s) in out[..n].iter_mut().zip(&self.strengths) {
             *o = (overlap * s).clamp(0.0, 1.0);
         }
     }
@@ -1092,6 +1253,198 @@ mod tests {
             SimTime::from_secs(5),
             Box::new(NoInterference),
         );
+    }
+
+    #[test]
+    fn duty_cycle_zero_is_exactly_silent() {
+        let j = PeriodicJammer::with_duty_cycle(here(), 0.0);
+        assert_eq!(j.duty_cycle(), 0.0);
+        assert!(j.is_always_idle());
+        for start_ms in [0u64, 7, 13, 130] {
+            assert_eq!(
+                j.busy_fraction(
+                    SimTime::from_millis(start_ms),
+                    20_000,
+                    Channel::CONTROL,
+                    here()
+                ),
+                0.0
+            );
+        }
+        // The compiled mask agrees bitwise.
+        let positions = vec![here(), Position::new(0.0, 0.0)];
+        let mut mask = j.compile_for(&positions).unwrap();
+        let mut out = vec![9.9; 2];
+        mask.busy_for_slot(SimTime::ZERO, 13_000, Channel::CONTROL, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn duty_cycle_one_jams_continuously() {
+        let j = PeriodicJammer::with_duty_cycle(here(), 1.0);
+        assert_eq!(j.duty_cycle(), 1.0);
+        assert!(!j.is_always_idle());
+        // Any interval, any phase alignment: fully covered next to the jammer.
+        for (start_us, dur) in [(0u64, 500u64), (12_999, 2), (6_500, 13_000), (1, 99_999)] {
+            let f = j.busy_fraction(
+                SimTime::from_micros(start_us),
+                dur,
+                Channel::CONTROL,
+                here(),
+            );
+            assert!(f > 0.999, "start {start_us} dur {dur}: got {f}");
+        }
+    }
+
+    #[test]
+    fn empty_channel_list_is_always_idle() {
+        let j = PeriodicJammer::with_duty_cycle(here(), 0.5).on_channels(vec![]);
+        assert!(j.is_always_idle());
+        assert_eq!(
+            j.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, here()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn scheduled_window_start_is_inclusive_end_is_exclusive() {
+        let mut sched = ScheduledInterference::new();
+        sched.add_window(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            Box::new(PeriodicJammer::with_duty_cycle(here(), 1.0)),
+        );
+        // A slot starting exactly at the window end sees nothing.
+        let after = sched.busy_fraction(SimTime::from_secs(20), 13_000, Channel::CONTROL, here());
+        assert_eq!(after, 0.0);
+        // A slot starting exactly at the window start is fully inside.
+        let at_start =
+            sched.busy_fraction(SimTime::from_secs(10), 13_000, Channel::CONTROL, here());
+        assert!(at_start > 0.999, "got {at_start}");
+        // A slot *ending* exactly at the window start sees nothing.
+        let before = sched.busy_fraction(
+            SimTime::from_millis(9_987),
+            13_000,
+            Channel::CONTROL,
+            here(),
+        );
+        assert_eq!(before, 0.0);
+    }
+
+    #[test]
+    fn scheduled_phase_switch_exactly_on_a_slot_boundary() {
+        // Two abutting phases switching at t = 60 s: heavy jamming, then a
+        // silent phase. A slot aligned exactly on the boundary must see
+        // *only* the phase it starts in — no bleed in either direction.
+        let switch = SimTime::from_secs(60);
+        let mut sched = ScheduledInterference::new();
+        sched.add_window(
+            SimTime::ZERO,
+            switch,
+            Box::new(PeriodicJammer::with_duty_cycle(here(), 1.0)),
+        );
+        sched.add_window(
+            switch,
+            SimTime::from_secs(120),
+            Box::new(PeriodicJammer::with_duty_cycle(here(), 0.0)),
+        );
+        let slot_us = 13_000;
+        let last_before = sched.busy_fraction(
+            switch - SimDuration::from_micros(slot_us),
+            slot_us,
+            Channel::CONTROL,
+            here(),
+        );
+        let first_after = sched.busy_fraction(switch, slot_us, Channel::CONTROL, here());
+        assert!(last_before > 0.999, "got {last_before}");
+        assert_eq!(first_after, 0.0);
+        // The compiled mask makes the same cut, bitwise.
+        let positions = vec![here()];
+        let mut mask = sched.compile_for(&positions).unwrap();
+        let mut out = vec![0.0];
+        mask.busy_for_slot(switch, slot_us, Channel::CONTROL, &mut out);
+        assert_eq!(out[0], first_after);
+        mask.busy_for_slot(
+            switch - SimDuration::from_micros(slot_us),
+            slot_us,
+            Channel::CONTROL,
+            &mut out,
+        );
+        assert_eq!(out[0], last_before);
+    }
+
+    #[test]
+    fn composite_with_boundary_duty_cycles_matches_members() {
+        // duty 0.0 members are no-ops inside a composite; duty 1.0 members
+        // saturate it — both through the direct and the compiled path.
+        let mut comp = CompositeInterference::new();
+        comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 0.0)));
+        comp.push(Box::new(PeriodicJammer::with_duty_cycle(here(), 1.0)));
+        let f = comp.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, here());
+        assert!(f > 0.999, "got {f}");
+        let positions = vec![here(), Position::new(50.0, 50.0)];
+        let mut mask = comp.compile_for(&positions).unwrap();
+        let mut out = vec![0.0; 2];
+        mask.busy_for_slot(SimTime::ZERO, 13_000, Channel::CONTROL, &mut out);
+        for (i, &p) in positions.iter().enumerate() {
+            assert_eq!(
+                out[i],
+                comp.busy_fraction(SimTime::ZERO, 13_000, Channel::CONTROL, p)
+            );
+        }
+    }
+
+    #[test]
+    fn mobile_jammer_relocates_at_waypoints() {
+        let base = PeriodicJammer::with_duty_cycle(Position::new(0.0, 0.0), 1.0);
+        let t1 = SimTime::from_secs(60);
+        let jam = MobileJammer::new(base, vec![(t1, Position::new(100.0, 0.0))]);
+        assert_eq!(jam.position_at(SimTime::ZERO), Position::new(0.0, 0.0));
+        // The waypoint timestamp itself is inclusive (events fire at <= t,
+        // matching the world clock).
+        assert_eq!(jam.position_at(t1), Position::new(100.0, 0.0));
+        assert_eq!(
+            jam.position_at(t1 - SimDuration::from_micros(1)),
+            Position::new(0.0, 0.0)
+        );
+        let at = Position::new(1.0, 0.0);
+        let before = jam.busy_fraction(SimTime::from_secs(59), 13_000, Channel::CONTROL, at);
+        let after = jam.busy_fraction(t1, 13_000, Channel::CONTROL, at);
+        assert!(before > 0.9 && after < 0.05, "{before} vs {after}");
+    }
+
+    #[test]
+    fn mobile_jammer_compiled_mask_matches_bitwise_across_segments() {
+        let base = PeriodicJammer::with_duty_cycle(Position::new(2.0, 2.0), 0.35)
+            .on_channels(vec![Channel::CONTROL]);
+        let jam = MobileJammer::new(
+            base,
+            vec![
+                (SimTime::from_secs(10), Position::new(20.0, 2.0)),
+                (SimTime::from_secs(20), Position::new(2.0, 20.0)),
+            ],
+        );
+        let positions: Vec<Position> = (0..10)
+            .map(|i| Position::new(i as f64 * 3.0, (i % 3) as f64 * 5.0))
+            .collect();
+        let mut mask = jam.compile_for(&positions).unwrap();
+        let mut out = vec![0.0; positions.len()];
+        // Sweep across segments forwards and back onto earlier segment
+        // queries (the cache must not leak between segments).
+        for start_s in [0u64, 9, 10, 15, 20, 25, 10, 0] {
+            let start = SimTime::from_secs(start_s);
+            for ch in [Channel::CONTROL, Channel::new(15).unwrap()] {
+                mask.busy_for_slot(start, 13_000, ch, &mut out);
+                for (i, &p) in positions.iter().enumerate() {
+                    let expected = jam.busy_fraction(start, 13_000, ch, p);
+                    assert!(
+                        out[i] == expected,
+                        "node {i} at {start_s}s on {ch}: {} vs {expected}",
+                        out[i]
+                    );
+                }
+            }
+        }
     }
 
     proptest! {

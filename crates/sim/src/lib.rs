@@ -51,10 +51,11 @@ pub mod radio;
 pub mod rng;
 pub mod time;
 pub mod topology;
+pub mod world;
 
 pub use compiled::{CompiledLink, CompiledTopology, QUALITY_BUCKETS};
 pub use interference::{
-    CompositeInterference, InterferenceModel, NoInterference, PeriodicJammer,
+    CompositeInterference, InterferenceModel, MobileJammer, NoInterference, PeriodicJammer,
     ScheduledInterference, SlotInterference, WifiInterference, WifiLevel,
 };
 pub use link::{LinkQuality, PathLossModel};
@@ -62,3 +63,4 @@ pub use radio::{Channel, RadioAccounting, RadioState};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeId, Position, Topology, TopologyKind};
+pub use world::{ScenarioScript, World, WorldEvent, WorldUpdate};

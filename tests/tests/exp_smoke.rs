@@ -5,9 +5,10 @@
 //! the binaries' `--protocols` flags do.
 
 use dimmer_bench::experiments::{
-    fig4b_row, fig4c_dimmer, fig4c_pid, fig5_run, fig6_run, fig6_single, fig7_run, table1_summary,
-    Fig7Scenario, DCUBE_PROTOCOLS, TESTBED_PROTOCOLS,
+    dynamics_run, fig4b_row, fig4c_dimmer, fig4c_pid, fig5_run, fig6_run, fig6_single, fig7_run,
+    table1_summary, Fig7Scenario, DCUBE_PROTOCOLS, DYNAMICS_PROTOCOLS, TESTBED_PROTOCOLS,
 };
+use dimmer_bench::scenarios::DYNAMIC_SCENARIOS;
 use dimmer_core::{AdaptivityPolicy, DimmerConfig};
 use dimmer_sim::Topology;
 use dimmer_traces::TraceCollector;
@@ -131,6 +132,50 @@ fn exp_fig7_cells_cover_every_scenario_and_protocol() {
             );
         }
     }
+}
+
+#[test]
+fn exp_dynamics_covers_every_preset_and_protocol() {
+    assert_eq!(
+        DYNAMICS_PROTOCOLS,
+        ["static", "dimmer-dqn", "dimmer-rule", "pid"]
+    );
+    let policy = AdaptivityPolicy::rule_based();
+    for scenario in DYNAMIC_SCENARIOS {
+        for protocol in ["static", "dimmer-rule"] {
+            let reports = dynamics_run(protocol, scenario, &policy, 12, 5);
+            assert_eq!(reports.len(), 12, "{scenario}/{protocol}");
+            for r in &reports {
+                assert_summary_sane(r.reliability, scenario);
+                assert!(
+                    r.alive_nodes >= 1 && r.alive_nodes <= 18,
+                    "{scenario}/{protocol}: alive {}",
+                    r.alive_nodes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamics_runs_are_deterministic_per_seed() {
+    let policy = AdaptivityPolicy::rule_based();
+    assert_eq!(
+        dynamics_run("pid", "churn-storm", &policy, 10, 4),
+        dynamics_run("pid", "churn-storm", &policy, 10, 4)
+    );
+}
+
+#[test]
+#[should_panic(expected = "unknown dynamic scenario")]
+fn dynamics_run_rejects_unknown_scenarios() {
+    dynamics_run(
+        "static",
+        "earthquake",
+        &AdaptivityPolicy::rule_based(),
+        2,
+        1,
+    );
 }
 
 #[test]
