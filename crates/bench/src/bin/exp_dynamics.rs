@@ -26,7 +26,7 @@ use dimmer_sim::{SimRng, Topology};
 fn main() {
     let cli = HarnessCli::parse(11);
     let scenario = cli
-        .value("--scenario")
+        .value_required("--scenario")
         .unwrap_or_else(|| "churn-storm".to_string());
     let topo = Topology::kiel_testbed_18(1);
     let rounds = if cli.quick { 60 } else { 200 };

@@ -29,7 +29,9 @@ use dimmer_traces::TraceCollector;
 fn main() {
     let cli = HarnessCli::parse(1000);
     let _protocols = cli.select_protocols(&["dimmer-dqn"]);
-    let part = cli.value("--part").unwrap_or_else(|| "both".to_string());
+    let part = cli
+        .value_required("--part")
+        .unwrap_or_else(|| "both".to_string());
     if !["nodes", "history", "both"].contains(&part.as_str()) {
         eprintln!("error: unknown --part '{part}' (expected nodes, history or both)");
         std::process::exit(2);

@@ -27,7 +27,7 @@ use dimmer_bench::scenarios::dimmer_policy;
 fn main() {
     let cli = HarnessCli::parse(500);
     let preset = cli
-        .value("--preset")
+        .value_required("--preset")
         .unwrap_or_else(|| "fig5-seeds".to_string());
     let rounds = if cli.quick { 40 } else { 120 };
 

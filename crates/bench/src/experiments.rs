@@ -156,6 +156,7 @@ pub fn fig4c_dimmer(policy: AdaptivityPolicy, rounds: usize, seed: u64) -> Vec<D
         .policy(policy)
         .seed(seed)
         .build_protocol("dimmer-dqn")
+        // lint: allow(P001) -- "dimmer-dqn" ships in the standard registry
         .expect("dimmer-dqn is registered");
     sim.run_rounds(rounds)
 }
@@ -168,6 +169,7 @@ pub fn fig4c_pid(rounds: usize, seed: u64) -> Vec<DimmerRoundReport> {
         .interference(&interference)
         .seed(seed)
         .build_protocol("pid")
+        // lint: allow(P001) -- "pid" ships in the standard registry
         .expect("pid is registered");
     sim.run_rounds(rounds)
 }
@@ -187,6 +189,7 @@ pub fn run_protocol(
         .policy(policy.clone())
         .seed(seed)
         .build_protocol(protocol)
+        // lint: allow(P002) -- callers pass registry names vetted by HarnessCli::select_protocols
         .unwrap_or_else(|e| panic!("{e}"));
     summarize(&sim.run_rounds(rounds))
 }
@@ -237,6 +240,7 @@ pub fn fig6_single(rounds: usize, seed: u64, selection: bool) -> Vec<DimmerRound
         .policy(AdaptivityPolicy::rule_based())
         .seed(seed)
         .build_protocol("dimmer-rule")
+        // lint: allow(P001) -- "dimmer-rule" ships in the standard registry
         .expect("dimmer-rule is registered");
     sim.run_rounds(rounds)
 }
@@ -329,6 +333,7 @@ pub fn fig7_run(
         .traffic(traffic)
         .seed(seed)
         .build_protocol(protocol)
+        // lint: allow(P002) -- callers pass registry names vetted by HarnessCli::select_protocols
         .unwrap_or_else(|e| panic!("{e}"));
     sim.run_rounds(rounds);
     AppOutcome {
@@ -527,6 +532,7 @@ pub fn fig4c_grid(
                     },
                 );
             }
+            // lint: allow(P002) -- select_protocols restricts --protocols to this experiment's supported set
             other => panic!("fig4c supports dimmer-dqn and pid, got '{other}'"),
         }
     }
@@ -681,6 +687,7 @@ pub fn dynamics_run(
 ) -> Vec<DimmerRoundReport> {
     let topo = Topology::kiel_testbed_18(1);
     let sc = dynamic_scenario(scenario, rounds, &topo)
+        // lint: allow(P002) -- documented # Panics contract; exp_dynamics validates --scenario first
         .unwrap_or_else(|| panic!("unknown dynamic scenario '{scenario}'"));
     let mut sim = SimulationBuilder::new(&topo)
         .interference(sc.interference.as_ref())
@@ -688,6 +695,7 @@ pub fn dynamics_run(
         .policy(policy.clone())
         .seed(seed)
         .build_protocol(protocol)
+        // lint: allow(P002) -- documented # Panics contract; callers pass vetted registry names
         .unwrap_or_else(|e| panic!("{e}"));
     sim.run_rounds(rounds)
 }
@@ -713,6 +721,7 @@ pub fn dynamics_grid(
     let topo = Topology::kiel_testbed_18(1);
     let bounds: Vec<(&'static str, usize)> = dynamic_scenario(scenario, rounds, &topo)
         .unwrap_or_else(|| {
+            // lint: allow(P002) -- documented # Panics contract; the binary validates --scenario up front
             panic!(
                 "unknown dynamic scenario '{scenario}' (catalogue: {})",
                 DYNAMIC_SCENARIOS.join(", ")

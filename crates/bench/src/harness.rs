@@ -195,11 +195,13 @@ impl ScenarioGrid {
                         break;
                     };
                     let metrics = (self.cells[cell].run)(seed);
+                    // lint: allow(P001) -- poisoned only if a trial panicked; propagating is correct
                     results.lock().expect("result store poisoned")[i] = Some(metrics);
                 });
             }
         });
 
+        // lint: allow(P001) -- poisoned only if a trial panicked; propagating is correct
         let results = results.into_inner().expect("result store poisoned");
         let cells = self
             .cells
@@ -210,6 +212,7 @@ impl ScenarioGrid {
                     .map(|t| {
                         results[ci * trials + t]
                             .as_ref()
+                            // lint: allow(P001) -- the scope joins every worker, so all slots are filled
                             .expect("every job slot is filled after the scope joins")
                     })
                     .collect();
@@ -305,18 +308,25 @@ impl HarnessCli {
     /// Parses the shared flags from `std::env::args`, using `default_seed`
     /// when `--seed` is absent.
     ///
-    /// Exits the process with status 2 on malformed numeric flags, matching
-    /// the binaries' existing error style.
+    /// Exits the process with status 2 on malformed numeric flags or a
+    /// value flag with no value, matching the binaries' existing error
+    /// style.
     pub fn parse(default_seed: u64) -> HarnessCli {
+        // lint: allow(D003) -- the one sanctioned ambient read: the CLI entry point; every flag is threaded explicitly from here
         Self::parse_from(std::env::args().skip(1).collect(), default_seed)
     }
 
     /// The one flag-value lookup both the constructor and
     /// [`value`](Self::value) share: the argument following `--flag`.
+    ///
+    /// A successor that is itself a `--flag` does not count as a value, so
+    /// `--json --quick` reads as "`--json` missing its value", not as a
+    /// report written to a file literally named `--quick`.
     fn lookup(args: &[String], flag: &str) -> Option<String> {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
             .cloned()
     }
 
@@ -324,6 +334,12 @@ impl HarnessCli {
     /// form; `args` excludes the binary name).
     pub fn parse_from(args: Vec<String>, default_seed: u64) -> HarnessCli {
         let value = |flag: &str| Self::lookup(&args, flag);
+        for flag in ["--trials", "--threads", "--seed", "--json", "--protocols"] {
+            if args.iter().any(|a| a == flag) && value(flag).is_none() {
+                eprintln!("error: {flag} expects a value");
+                std::process::exit(2);
+            }
+        }
         let parse_num = |flag: &str| -> Option<u64> {
             value(flag).map(|v| {
                 v.parse().unwrap_or_else(|_| {
@@ -372,6 +388,19 @@ impl HarnessCli {
     /// `--part` of `exp_fig4b`, `--scenario` of `exp_dynamics`).
     pub fn value(&self, flag: &str) -> Option<String> {
         Self::lookup(&self.args, flag)
+    }
+
+    /// Like [`value`](Self::value), but a `--flag` passed *without* a value
+    /// exits the process with status 2 instead of quietly reading as
+    /// absent; a flag not passed at all still yields `None` so the binary
+    /// can apply its default.
+    pub fn value_required(&self, flag: &str) -> Option<String> {
+        let v = self.value(flag);
+        if v.is_none() && self.has(flag) {
+            eprintln!("error: {flag} expects a value");
+            std::process::exit(2);
+        }
+        v
     }
 
     /// Whether a bare `--flag` was passed.
@@ -558,6 +587,14 @@ mod tests {
         assert!(c.has("--quick"));
         assert!(!c.has("--part"));
         assert_eq!(c.json.as_deref(), Some(std::path::Path::new("out.json")));
+    }
+
+    #[test]
+    fn flag_successor_is_not_a_value() {
+        // `--json --quick` must not treat `--quick` as the report path.
+        let c = cli(&["--scenario", "--quick"]);
+        assert_eq!(c.value("--scenario"), None);
+        assert!(c.has("--quick"));
     }
 
     #[test]

@@ -459,6 +459,7 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
         //    transmits.
         let update = self.world.advance_to(self.now);
         let Backend::Lwb(lwb) = &mut self.backend else {
+            // lint: allow(P002) -- run_round dispatches on the backend variant; this arm is the LWB one
             unreachable!("run_lwb_round on a non-LWB backend");
         };
         if update.topology_changed {
@@ -640,6 +641,7 @@ impl<'a, C: Controller> RoundEngine<'a, C> {
         // driver (it owns its substrate), exactly like the LWB path.
         let update = self.world.advance_to(self.now);
         let Backend::Epoch(driver) = &mut self.backend else {
+            // lint: allow(P002) -- run_round dispatches on the backend variant; this arm is the epoch one
             unreachable!("run_epoch_round on a non-epoch backend");
         };
         if !update.is_empty() {

@@ -243,6 +243,7 @@ impl GlobalView {
             self.entries[a]
                 .reliability()
                 .partial_cmp(&self.entries[b].reliability())
+                // lint: allow(P001) -- reliability() is received/expected over non-zero windows, never NaN
                 .expect("reliabilities are finite")
                 .then(a.cmp(&b))
         });

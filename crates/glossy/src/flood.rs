@@ -328,6 +328,7 @@ impl<'a> FloodSimulator<'a> {
             ws.next_tx_slot[i] = 0;
         }
 
+        // lint: hot-begin
         let mut last_active_slot = 0usize;
         for slot in 0..max_slots {
             if ws.active.is_empty() {
@@ -470,6 +471,7 @@ impl<'a> FloodSimulator<'a> {
                 ws.active.retain(|&i| off[i as usize] == NONE_U32);
             }
         }
+        // lint: hot-end
 
         // Assemble per-node outcomes and radio accounting.
         let per_node: Vec<NodeFloodOutcome> = (0..n)

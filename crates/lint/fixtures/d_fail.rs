@@ -1,0 +1,11 @@
+//! D-family fixture: every non-deterministic construct the linter must flag.
+use std::collections::HashMap; // D001: iteration order varies per process
+
+fn nondeterministic() -> u64 {
+    let start = std::time::Instant::now(); // D002: wall clock in simulation code
+    let home = std::env::var("HOME"); // D003: ambient environment read
+    let mut rng = rand::thread_rng(); // D004: OS-entropy RNG
+    let mut m = HashMap::new(); // D001 again (construction site)
+    m.insert(home.is_ok(), rng.gen::<u64>());
+    start.elapsed().as_nanos() as u64
+}

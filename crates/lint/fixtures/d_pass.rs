@@ -1,0 +1,27 @@
+//! D-family fixture: deterministic code the linter must accept.
+use std::collections::BTreeMap;
+
+fn deterministic(seed: u64) -> BTreeMap<u32, u32> {
+    // The sanctioned RNG: seeded, splittable, no ambient entropy.
+    let mut rng = SimRng::seed_from(seed);
+    let child = rng.split_seed();
+    let mut out = BTreeMap::new();
+    out.insert(1, child as u32);
+    // Mentions inside strings and comments never count: HashMap, Instant::now().
+    let doc = "prefer BTreeMap over HashMap; never call Instant::now()";
+    out.insert(2, doc.len() as u32);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use whatever it likes.
+    use std::collections::HashMap;
+
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+        let _: HashMap<u8, u8> = HashMap::new();
+        let _ = std::env::var("CI");
+    }
+}

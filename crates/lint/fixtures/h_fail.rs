@@ -1,0 +1,13 @@
+//! H-family fixture: allocation-shaped calls inside a hot region.
+
+fn hot_loop(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    // lint: hot-begin
+    for &x in xs {
+        let copy = xs.to_vec(); // H001: fresh heap allocation every iteration
+        let label = format!("{x}"); // H001: formatting allocates
+        acc += copy.len() as u64 + label.len() as u64;
+    }
+    // lint: hot-end
+    acc
+}

@@ -1,0 +1,15 @@
+//! H-family fixture: a well-formed hot region the linter must accept.
+
+fn hot_loop(buf: &mut Vec<u64>, xs: &[u64]) -> u64 {
+    // Setup may allocate freely: the region has not started yet.
+    let scratch = vec![0u64; xs.len()];
+    let mut acc = 0;
+    // lint: hot-begin
+    for (i, &x) in xs.iter().enumerate() {
+        buf[i % buf.len()] = x ^ scratch[i];
+        acc += x;
+    }
+    let tail: Vec<u64> = xs.iter().rev().take(2).copied().collect(); // lint: allow(H001) -- bounded to two elements, once per call
+    // lint: hot-end
+    acc + tail.len() as u64
+}

@@ -1,0 +1,10 @@
+//! P-family fixture: panics in library code the linter must flag.
+
+fn fragile(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap(); // P001: panics on empty input
+    let last = xs.last().expect("non-empty"); // P001: same, with prose
+    if first > last {
+        panic!("unsorted input"); // P002: abort instead of an error
+    }
+    first + last
+}

@@ -1,0 +1,21 @@
+//! P-family fixture: panic-hygienic library code the linter must accept.
+
+fn checked(xs: &[u64]) -> Result<u64, String> {
+    let first = xs.first().ok_or("empty input")?;
+    // An invariant-backed expect carries an allow with its justification.
+    // lint: allow(P001) -- first() above proved the slice is non-empty
+    let last = xs.last().expect("non-empty slice has a last element");
+    Ok(first + last)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v: Result<u64, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("test-only panic");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+fn defaults(reg: &mut Registry) {
+    reg.register("alpha", "the documented protocol", build_alpha);
+    reg.register("beta", "missing from both docs", build_beta);
+}

@@ -1,0 +1,11 @@
+fn defaults(reg: &mut Registry) {
+    reg.register("alpha", "the documented protocol", build_alpha);
+}
+
+#[cfg(test)]
+mod tests {
+    fn fixture_registry(reg: &mut Registry) {
+        // Test-only registrations need no documentation.
+        reg.register("throwaway", "undocumented on purpose", build_alpha);
+    }
+}

@@ -1,0 +1,196 @@
+//! `// lint: …` directive parsing.
+//!
+//! Directives are the only channel through which source code talks back to
+//! the linter. Three verbs exist:
+//!
+//! * `// lint: hot-begin` / `// lint: hot-end` — delimit a *hot region*
+//!   inside which allocation-shaped calls are denied (rule `H001`);
+//! * `// lint: allow(RULE) -- <reason>` — suppress `RULE` on the directive's
+//!   line (trailing form) or on the next line holding code (standalone
+//!   form). The reason is **mandatory**: an allow without one is itself a
+//!   diagnostic (`L001`), because an unexplained suppression is exactly the
+//!   kind of drift this tool exists to stop.
+//!
+//! Only plain `//` comments carry directives — doc comments (`///`, `//!`)
+//! are rendered documentation and must stay prose.
+
+use crate::rules::rule_exists;
+use crate::tokenizer::{Token, TokenKind};
+
+/// A parsed, validated directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `allow(RULE) -- reason`: suppress `rule` near `line`.
+    Allow {
+        /// The rule id being suppressed (validated to exist).
+        rule: String,
+        /// Line the directive comment starts on.
+        line: u32,
+    },
+    /// `hot-begin`: opens a hot region after `line`.
+    HotBegin {
+        /// Line of the marker comment.
+        line: u32,
+    },
+    /// `hot-end`: closes the current hot region at `line`.
+    HotEnd {
+        /// Line of the marker comment.
+        line: u32,
+    },
+}
+
+/// A directive that failed validation — reported as rule `L001`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedDirective {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// Column of the offending comment.
+    pub col: u32,
+    /// Human explanation of what is wrong.
+    pub problem: String,
+}
+
+/// Extracts every directive from the comment tokens of a file.
+///
+/// Returns the well-formed directives and the malformed ones separately so
+/// the caller can turn the latter into `L001` findings.
+pub fn extract(tokens: &[Token<'_>]) -> (Vec<Directive>, Vec<MalformedDirective>) {
+    let mut directives = Vec::new();
+    let mut malformed = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        // `//` yes, `///` / `//!` no.
+        let body = &t.text[2..];
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        match parse_body(rest.trim(), t.line) {
+            Ok(d) => directives.push(d),
+            Err(problem) => malformed.push(MalformedDirective {
+                line: t.line,
+                col: t.col,
+                problem,
+            }),
+        }
+    }
+    (directives, malformed)
+}
+
+fn parse_body(body: &str, line: u32) -> Result<Directive, String> {
+    if body == "hot-begin" {
+        return Ok(Directive::HotBegin { line });
+    }
+    if body == "hot-end" {
+        return Ok(Directive::HotEnd { line });
+    }
+    if let Some(rest) = body.strip_prefix("allow") {
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            return Err("allow needs a parenthesised rule id: `allow(RULE) -- reason`".into());
+        };
+        let Some((rule, rest)) = rest.split_once(')') else {
+            return Err("unclosed `(` in allow directive".into());
+        };
+        let rule = rule.trim();
+        if !rule_exists(rule) {
+            return Err(format!("unknown rule id `{rule}` in allow directive"));
+        }
+        let rest = rest.trim_start();
+        let Some(reason) = rest.strip_prefix("--") else {
+            return Err(format!(
+                "allow({rule}) is missing its mandatory reason: `allow({rule}) -- <why>`"
+            ));
+        };
+        if reason.trim().is_empty() {
+            return Err(format!("allow({rule}) has an empty reason after `--`"));
+        }
+        return Ok(Directive::Allow {
+            rule: rule.to_string(),
+            line,
+        });
+    }
+    Err(format!(
+        "unknown lint directive `{body}` (expected `hot-begin`, `hot-end` or `allow(RULE) -- reason`)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn parse(src: &str) -> (Vec<Directive>, Vec<MalformedDirective>) {
+        extract(&tokenize(src))
+    }
+
+    #[test]
+    fn hot_markers_parse() {
+        let (d, m) = parse("// lint: hot-begin\nx();\n// lint: hot-end\n");
+        assert!(m.is_empty());
+        assert_eq!(
+            d,
+            vec![
+                Directive::HotBegin { line: 1 },
+                Directive::HotEnd { line: 3 }
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_with_reason_parses() {
+        let (d, m) = parse("x.unwrap(); // lint: allow(P001) -- len checked above\n");
+        assert!(m.is_empty());
+        assert_eq!(
+            d,
+            vec![Directive::Allow {
+                rule: "P001".into(),
+                line: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let (d, m) = parse("// lint: allow(P001)\n");
+        assert!(d.is_empty());
+        assert_eq!(m.len(), 1);
+        assert!(
+            m[0].problem.contains("mandatory reason"),
+            "{}",
+            m[0].problem
+        );
+    }
+
+    #[test]
+    fn allow_with_empty_reason_is_malformed() {
+        let (_, m) = parse("// lint: allow(P001) --   \n");
+        assert_eq!(m.len(), 1);
+        assert!(m[0].problem.contains("empty reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let (_, m) = parse("// lint: allow(Z999) -- whatever\n");
+        assert_eq!(m.len(), 1);
+        assert!(m[0].problem.contains("unknown rule id"));
+    }
+
+    #[test]
+    fn unknown_verb_is_malformed() {
+        let (_, m) = parse("// lint: hot-middle\n");
+        assert_eq!(m.len(), 1);
+        assert!(m[0].problem.contains("unknown lint directive"));
+    }
+
+    #[test]
+    fn doc_comments_and_plain_comments_are_ignored() {
+        let (d, m) = parse("/// lint: hot-begin\n//! lint: hot-end\n// just words\n");
+        assert!(d.is_empty());
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! S-rules: drift checks between code artifacts and the documents that
+//! describe them.
+//!
+//! Unlike the token rules, these are *workspace-level* — each check reads
+//! several files and compares them:
+//!
+//! * **S001** — every `exp_*` binary under `crates/bench/src/bin/` must be
+//!   mentioned in `README.md` (the reproduction guide is the contract for
+//!   how results are regenerated; an undocumented binary is dead weight or
+//!   missing docs).
+//! * **S002** — every protocol name registered in the non-test code of
+//!   `crates/baselines/src/registry.rs` must appear in both `README.md`
+//!   and `ARCHITECTURE.md` (the registry is the single source of protocol
+//!   names for `--protocols`; docs must track it).
+//! * **S003** — every `BENCH_*.json` at the workspace root must parse and
+//!   match its declared schema (`suite` matching the filename, a non-empty
+//!   `benchmarks` array of `{name, mean_ns, iters}`, and the suite's
+//!   headline speedup field, positive).
+
+use crate::diag::Finding;
+use crate::json::{self, Json};
+use crate::tokenizer::{tokenize, TokenKind};
+use std::path::Path;
+
+/// Runs every S-rule against the workspace at `root`.
+pub fn lint_drift(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_readme_repro(root, &mut findings);
+    check_registry_docs(root, &mut findings);
+    check_bench_schemas(root, &mut findings);
+    findings
+}
+
+fn file_finding(path: &str, rule: &'static str, message: String) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line: 1,
+        col: 1,
+        rule,
+        message,
+    }
+}
+
+/// S001: every `exp_*` binary appears in README.md.
+fn check_readme_repro(root: &Path, findings: &mut Vec<Finding>) {
+    let bin_dir = root.join("crates/bench/src/bin");
+    let Ok(entries) = std::fs::read_dir(&bin_dir) else {
+        return; // no bin dir, nothing to check (fixture trees may omit it)
+    };
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .filter(|n| n.starts_with("exp_"))
+        .collect();
+    names.sort_unstable();
+    for name in names {
+        if !contains_word(&readme, &name) {
+            findings.push(file_finding(
+                &format!("crates/bench/src/bin/{name}.rs"),
+                "S001",
+                format!("binary `{name}` is not mentioned in README.md's reproduction docs"),
+            ));
+        }
+    }
+}
+
+/// S002: registered protocol names appear in README.md and ARCHITECTURE.md.
+fn check_registry_docs(root: &Path, findings: &mut Vec<Finding>) {
+    let reg_path = "crates/baselines/src/registry.rs";
+    let Ok(src) = std::fs::read_to_string(root.join(reg_path)) else {
+        return;
+    };
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let arch = std::fs::read_to_string(root.join("ARCHITECTURE.md")).unwrap_or_default();
+
+    for (name, line) in registered_names(&src) {
+        for (doc, text) in [("README.md", &readme), ("ARCHITECTURE.md", &arch)] {
+            if !contains_word(text, &name) {
+                findings.push(Finding {
+                    path: reg_path.to_string(),
+                    line,
+                    col: 1,
+                    rule: "S002",
+                    message: format!("registry protocol `{name}` is not documented in {doc}"),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts `(name, line)` for every `register("name", …)` call in the
+/// non-test code of the registry source.
+///
+/// Test-gated registrations (fixtures registering throwaway protocols)
+/// deliberately don't count — only shipped names need documentation.
+pub fn registered_names(src: &str) -> Vec<(String, u32)> {
+    let tokens = tokenize(src);
+    let code: Vec<_> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    // Reuse the same test-gating logic as the code rules by line spans:
+    // a simple rebuild here avoids exposing engine internals.
+    let gated = crate::rules::test_gated_lines(src);
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if code[i].is_ident("register")
+            && code.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && code.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
+            && !gated.contains(&code[i].line)
+        {
+            let quoted = code[i + 2].text;
+            let name = quoted.trim_matches('"').to_string();
+            out.push((name, code[i].line));
+        }
+    }
+    out
+}
+
+/// Word-ish containment: `needle` present and not embedded in a larger
+/// identifier (so `exp_fig5` is not satisfied by `exp_fig5b`).
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let boundary =
+        |c: Option<char>| c.is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '-'));
+    let mut from = 0;
+    while let Some(idx) = haystack[from..].find(needle) {
+        let at = from + idx;
+        let before = haystack[..at].chars().next_back();
+        let after = haystack[at + needle.len()..].chars().next();
+        if boundary(before) && boundary(after) {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// S003: `BENCH_*.json` files match their declared schema.
+fn check_bench_schemas(root: &Path, findings: &mut Vec<Finding>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut reports: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    reports.sort_unstable();
+    for file in reports {
+        let suite = file
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .to_string();
+        let text = std::fs::read_to_string(root.join(&file)).unwrap_or_default();
+        for problem in schema_problems(&suite, &text) {
+            findings.push(file_finding(&file, "S003", problem));
+        }
+    }
+}
+
+/// Validates one report body against the schema its filename declares.
+/// Returns every problem found (empty = conforming).
+pub fn schema_problems(suite: &str, text: &str) -> Vec<String> {
+    let headline = match suite {
+        "flood" => "flood_kernel_speedup",
+        "world" => "patch_speedup",
+        other => {
+            return vec![format!(
+                "no declared schema for suite `{other}`; add one to dimmer-lint's S003 table"
+            )]
+        }
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    let mut problems = Vec::new();
+    match doc.get("suite").and_then(Json::as_str) {
+        Some(s) if s == suite => {}
+        Some(s) => problems.push(format!(
+            "`suite` is \"{s}\" but the filename declares \"{suite}\""
+        )),
+        None => problems.push("missing string field `suite`".to_string()),
+    }
+    match doc.get("benchmarks").and_then(Json::as_arr) {
+        Some([]) => problems.push("`benchmarks` array is empty".to_string()),
+        Some(benches) => {
+            for (i, b) in benches.iter().enumerate() {
+                if b.get("name").and_then(Json::as_str).is_none() {
+                    problems.push(format!("benchmarks[{i}] is missing string field `name`"));
+                }
+                for field in ["mean_ns", "iters"] {
+                    if b.get(field).and_then(Json::as_num).is_none() {
+                        problems.push(format!(
+                            "benchmarks[{i}] is missing numeric field `{field}`"
+                        ));
+                    }
+                }
+            }
+        }
+        None => problems.push("missing array field `benchmarks`".to_string()),
+    }
+    match doc.get(headline).and_then(Json::as_num) {
+        Some(v) if v > 0.0 => {}
+        Some(v) => problems.push(format!("`{headline}` must be positive, got {v}")),
+        None => problems.push(format!("missing numeric field `{headline}`")),
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_names_skips_tests_and_comments() {
+        let src = r#"
+fn defaults() {
+    reg.register("dimmer-dqn", "x", build);
+    reg.register(
+        "pid",
+        "y",
+        build,
+    );
+}
+// reg.register("commented-out", "x", build);
+#[cfg(test)]
+mod tests {
+    fn t() { reg.register("static-5", "z", build); }
+}
+"#;
+        let names: Vec<String> = registered_names(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["dimmer-dqn", "pid"]);
+    }
+
+    #[test]
+    fn contains_word_respects_boundaries() {
+        assert!(contains_word("run `exp_fig5` to reproduce", "exp_fig5"));
+        assert!(!contains_word("only exp_fig5b here", "exp_fig5"));
+        assert!(contains_word("protocols: static,dimmer-dqn", "static"));
+        assert!(!contains_word("statics everywhere", "static"));
+        assert!(!contains_word("dimmer-dqn2", "dimmer-dqn"));
+    }
+
+    #[test]
+    fn schema_accepts_a_conforming_flood_report() {
+        let body = r#"{"suite":"flood","benchmarks":[{"name":"a","mean_ns":1.0,"iters":2}],"flood_kernel_speedup":2.5}"#;
+        assert!(schema_problems("flood", body).is_empty());
+    }
+
+    #[test]
+    fn schema_rejects_drifted_reports() {
+        let wrong_suite = r#"{"suite":"world","benchmarks":[{"name":"a","mean_ns":1.0,"iters":2}],"flood_kernel_speedup":2.5}"#;
+        assert!(schema_problems("flood", wrong_suite)
+            .iter()
+            .any(|p| p.contains("filename declares")));
+        let empty = r#"{"suite":"flood","benchmarks":[],"flood_kernel_speedup":2.5}"#;
+        assert!(schema_problems("flood", empty)
+            .iter()
+            .any(|p| p.contains("empty")));
+        let no_headline =
+            r#"{"suite":"world","benchmarks":[{"name":"a","mean_ns":1.0,"iters":2}]}"#;
+        assert!(schema_problems("world", no_headline)
+            .iter()
+            .any(|p| p.contains("patch_speedup")));
+        assert!(schema_problems("flood", "{oops")
+            .iter()
+            .any(|p| p.contains("not valid JSON")));
+        assert!(!schema_problems("mystery", "{}").is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The `dimmer-lint` CLI.
+//!
+//! ```text
+//! dimmer-lint --workspace [--deny] [--json] [--root PATH]
+//! dimmer-lint [--deny] [--json] FILE…
+//! dimmer-lint --list-rules
+//! ```
+//!
+//! `--workspace` lints every scanned crate plus the drift rules;
+//! explicit `FILE` arguments are linted with every code-rule family on
+//! (the mode fixture tooling uses). `--deny` turns findings into exit
+//! code 1 (CI mode); without it the findings are printed and the exit
+//! code stays 0. `--json` emits a JSON array instead of the rustc-style
+//! lines. Exit code 2 means the tool itself failed (bad usage, IO error).
+
+use dimmer_lint::diag::{sort_findings, Finding};
+use dimmer_lint::rules::{lint_source, ScopeFlags, RULES};
+use dimmer_lint::workspace::{find_root, lint_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    workspace: bool,
+    deny: bool,
+    json: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: dimmer-lint (--workspace [--root PATH] | FILE...) [--deny] [--json]\n       dimmer-lint --list-rules"
+}
+
+fn parse_cli(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        workspace: false,
+        deny: false,
+        json: false,
+        list_rules: false,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => cli.workspace = true,
+            "--deny" => cli.deny = true,
+            "--json" => cli.json = true,
+            "--list-rules" => cli.list_rules = true,
+            "--root" => {
+                let Some(path) = it.next() else {
+                    return Err("--root expects a path".to_string());
+                };
+                cli.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()));
+            }
+            file => cli.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(cli)
+}
+
+fn run(cli: Cli) -> Result<Vec<Finding>, String> {
+    if cli.workspace {
+        let root = match cli.root {
+            Some(root) => root,
+            None => {
+                let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+                find_root(&cwd).ok_or_else(|| {
+                    "no workspace root found above the current directory; pass --root".to_string()
+                })?
+            }
+        };
+        return lint_workspace(&root);
+    }
+    if cli.files.is_empty() {
+        return Err(format!("nothing to lint\n{}", usage()));
+    }
+    let mut findings = Vec::new();
+    for file in &cli.files {
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        findings.extend(lint_source(
+            &file.display().to_string(),
+            &src,
+            ScopeFlags::all(),
+        ));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+fn print_findings(findings: &[Finding], json: bool) {
+    if json {
+        let rows: Vec<String> = findings.iter().map(Finding::render_json).collect();
+        println!("[{}]", rows.join(","));
+    } else {
+        for f in findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("dimmer-lint: clean");
+        } else {
+            eprintln!("dimmer-lint: {} finding(s)", findings.len());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    // The linter's CLI is the one sanctioned place this tool reads its
+    // environment; everything under analysis is forbidden from doing so.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list_rules {
+        for rule in RULES {
+            println!("{}  {:<22} {}", rule.id, rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let deny = cli.deny;
+    let json = cli.json;
+    match run(cli) {
+        Ok(findings) => {
+            print_findings(&findings, json);
+            if deny && !findings.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("dimmer-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

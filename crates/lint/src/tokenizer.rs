@@ -1,0 +1,433 @@
+//! A minimal, lossless Rust tokenizer.
+//!
+//! The lint rules only need to distinguish *code* from *non-code* — a
+//! `HashMap` mentioned in a doc comment or a `"panic!"` inside a string
+//! literal must never fire a diagnostic — plus identifier/punctuation
+//! boundaries precise enough to match call shapes like `.unwrap()` or
+//! `Vec::new(`. That is a far smaller contract than a real parser, so this
+//! module hand-rolls it over `char_indices` with no dependencies:
+//!
+//! * line (`//`, `///`, `//!`) and block (`/* */`, nested) comments,
+//! * string literals (`"…"`, raw `r#"…"#`, byte `b"…"`, raw-byte `br#"…"#`),
+//! * char literals (with escapes) disambiguated from lifetimes,
+//! * numbers (so `1.0` never produces a phantom `.` token),
+//! * identifiers and single-char punctuation, with `::` fused.
+//!
+//! Every token carries its 1-based line and column so diagnostics point at
+//! the offending token, not at the start of some enclosing construct.
+
+/// What a [`Token`] is. Rules match on [`Ident`](TokenKind::Ident) and
+/// [`Punct`](TokenKind::Punct); directives are parsed out of
+/// [`LineComment`](TokenKind::LineComment) tokens; everything else exists
+/// so that rule matching can skip it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#type`).
+    Ident,
+    /// Punctuation: one character, except `::` which is fused.
+    Punct,
+    /// An integer or float literal, including suffixes (`1_000u64`, `1.0`).
+    Number,
+    /// A string literal of any flavour, quotes included.
+    Str,
+    /// A character literal, quotes included.
+    Char,
+    /// A lifetime (`'a`) or loop label — no closing quote.
+    Lifetime,
+    /// A `//` comment, text up to (not including) the newline.
+    LineComment,
+    /// A `/* … */` comment, possibly spanning lines, possibly nested.
+    BlockComment,
+}
+
+/// One lexed token: kind, the exact source slice, and its 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Token class; see [`TokenKind`].
+    pub kind: TokenKind,
+    /// The verbatim source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl<'a> Token<'a> {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Character-level cursor with 1-based line/column tracking.
+struct Cursor<'a> {
+    src: &'a str,
+    /// Byte offset of the next character.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src` losslessly (apart from whitespace) into a flat stream.
+///
+/// The tokenizer never fails: malformed input (an unterminated string or
+/// comment) simply extends the current token to the end of the file, which
+/// is the forgiving behaviour a linter wants — rustc will report the real
+/// error.
+///
+/// # Examples
+///
+/// ```
+/// use dimmer_lint::tokenizer::{tokenize, TokenKind};
+/// let toks = tokenize("let s = \"Instant::now\"; // Instant::now\nx.unwrap()");
+/// // Neither the string nor the comment produces an `Instant` ident:
+/// assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+/// assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+/// assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::LineComment).count(), 1);
+/// ```
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        let kind = if c.is_whitespace() {
+            cur.eat_while(|c| c.is_whitespace());
+            continue;
+        } else if c == '/' && cur.peek2() == Some('/') {
+            cur.eat_while(|c| c != '\n');
+            TokenKind::LineComment
+        } else if c == '/' && cur.peek2() == Some('*') {
+            lex_block_comment(&mut cur);
+            TokenKind::BlockComment
+        } else if is_raw_string_start(&cur) {
+            lex_raw_string(&mut cur);
+            TokenKind::Str
+        } else if is_plain_string_start(&cur) {
+            // Skip the `b` prefix, if any, then the quoted body.
+            if c == 'b' {
+                cur.bump();
+            }
+            lex_quoted(&mut cur, '"');
+            TokenKind::Str
+        } else if c == '\'' {
+            lex_char_or_lifetime(&mut cur)
+        } else if c == 'r' && cur.peek2() == Some('#') && cur.peek3().is_some_and(is_ident_start) {
+            // Raw identifier `r#type`.
+            cur.bump();
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        } else if is_ident_start(c) {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            TokenKind::Number
+        } else {
+            cur.bump();
+            // Fuse `::` into one token; every other punct is one char.
+            if c == ':' && cur.peek() == Some(':') {
+                cur.bump();
+            }
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            text: &src[start..cur.pos],
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#` — raw strings, any number of `#`s.
+fn is_raw_string_start(cur: &Cursor<'_>) -> bool {
+    let rest = &cur.src[cur.pos..];
+    let rest = rest.strip_prefix('b').unwrap_or(rest);
+    let Some(rest) = rest.strip_prefix('r') else {
+        return false;
+    };
+    let rest = rest.trim_start_matches('#');
+    rest.starts_with('"')
+}
+
+fn is_plain_string_start(cur: &Cursor<'_>) -> bool {
+    match cur.peek() {
+        Some('"') => true,
+        Some('b') => cur.peek2() == Some('"'),
+        _ => false,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    // Rust block comments nest.
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek2()) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some('b') {
+        cur.bump();
+    }
+    cur.bump(); // `r`
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Lexes a `'…'`-delimited literal with escapes; `quote` is `"` or `'`.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('\\') => {
+                cur.bump();
+            }
+            Some(c) if c == quote => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// On a `'`: decide lifetime/label vs char literal.
+///
+/// `'a` followed by anything but a closing `'` is a lifetime; `'a'`,
+/// `'\n'`, `'\u{7FFF}'` are char literals.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    let second = cur.peek2();
+    let third = cur.peek3();
+    if second.is_some_and(is_ident_start) && third != Some('\'') {
+        cur.bump(); // `'`
+        cur.eat_while(is_ident_continue);
+        TokenKind::Lifetime
+    } else {
+        lex_quoted(cur, '\'');
+        TokenKind::Char
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    // Digits, underscores, radix/hex letters and type suffixes all continue
+    // the literal; a `.` continues it only when followed by a digit, so
+    // ranges (`0..n`) and method calls on literals (`1.max(x)`) lex cleanly.
+    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    if cur.peek() == Some('.') && cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = tokenize("Vec::new()");
+        assert!(toks[0].is_ident("Vec"));
+        assert!(toks[1].is_punct("::"));
+        assert!(toks[2].is_ident("new"));
+        assert!(toks[3].is_punct("("));
+        assert!(toks[4].is_punct(")"));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = tokenize(r#"let x = "HashMap::new() \" still a string";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = tokenize(r###"let x = r#"quote " unwrap() inside"# + r"plain";"###);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn byte_strings() {
+        let toks = tokenize(r#"let x = b"panic!" ;"#);
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = tokenize("/* outer /* inner unwrap() */ still comment */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn line_comments_and_positions() {
+        let toks = tokenize("a // trailing unwrap()\nb");
+        assert!(toks[0].is_ident("a"));
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(toks[2].is_ident("b"));
+        assert_eq!((toks[2].line, toks[2].col), (2, 1));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_swallow_their_dots() {
+        let toks = tokenize("let x = 1.0f64 + 0x_FF; for i in 0..10 {} 1.max(2);");
+        // `1.0f64` is one number; `0..10` is number, `.`, `.`, number;
+        // `1.max(2)` keeps `max` as an ident.
+        assert!(toks.iter().any(|t| t.text == "1.0f64"));
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        assert!(!toks.iter().any(|t| t.text == "0.."));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = tokenize("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.text == "r#type"));
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        assert_eq!(
+            kinds("a::b:c"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident
+            ]
+        );
+        assert!(tokenize("a::b")[1].is_punct("::"));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof() {
+        assert_eq!(kinds("\"never closed"), vec![TokenKind::Str]);
+        assert_eq!(kinds("/* never closed"), vec![TokenKind::BlockComment]);
+    }
+}

@@ -32,6 +32,7 @@ impl HoppingSequence {
         HoppingSequence {
             channels: indices
                 .iter()
+                // lint: allow(P001) -- the literal table above only holds valid 802.15.4 indices (11..=26)
                 .map(|&i| Channel::new(i).expect("hard-coded channels are valid"))
                 .collect(),
         }

@@ -284,6 +284,7 @@ impl<'a> RoundExecutor<'a> {
         start: SimTime,
         rng: &mut SimRng,
     ) -> RoundOutcome {
+        // lint: hot-begin
         let n = self.topology().num_nodes();
         let coordinator = self.topology().coordinator();
         let slot_advance = self.config.slot_duration + self.config.slot_gap;
@@ -300,19 +301,19 @@ impl<'a> RoundExecutor<'a> {
         };
         let control = self.flood.flood(&control_cfg, coordinator, start, rng);
         let alive: Vec<bool> = match self.flood.alive() {
-            Some(mask) => mask.to_vec(),
-            None => vec![true; n],
+            Some(mask) => mask.to_vec(), // lint: allow(H001) -- once per round, not per slot
+            None => vec![true; n],       // lint: allow(H001) -- once per round, not per slot
         };
         // A dead node never hears the schedule: `synced` is automatically
         // false for it (the control flood masked it out), which keeps it
         // silent in every data slot.
-        let synced: Vec<bool> = (0..n).map(|i| control.received(NodeId(i as u16))).collect();
+        let synced: Vec<bool> = (0..n).map(|i| control.received(NodeId(i as u16))).collect(); // lint: allow(H001) -- once per round, not per slot
 
         // One data-slot config for the whole round: only the channel varies
         // per slot, so the N_TX assignment (a heap-backed `Vec` in the
         // per-node case) is cloned once per round instead of once per slot.
         let mut data_cfg = GlossyConfig {
-            ntx: schedule.ntx().clone(),
+            ntx: schedule.ntx().clone(), // lint: allow(H001) -- hoisted: cloned once per round instead of once per slot
             max_slot_duration: self.config.slot_duration,
             payload_bytes: self.config.payload_bytes,
             channel: self.config.hopping.control_channel(),
@@ -320,7 +321,7 @@ impl<'a> RoundExecutor<'a> {
         };
 
         // Data slots.
-        let mut data = Vec::with_capacity(schedule.num_data_slots());
+        let mut data = Vec::with_capacity(schedule.num_data_slots()); // lint: allow(H001) -- one exact-size reservation per round
         for (slot_idx, &source) in schedule.slots().iter().enumerate() {
             let slot_start = start + slot_advance * (slot_idx as u64 + 1);
             let channel = if self.config.channel_hopping {
@@ -354,7 +355,7 @@ impl<'a> RoundExecutor<'a> {
                             NodeFloodOutcome::not_participating()
                         }
                     })
-                    .collect();
+                    .collect(); // lint: allow(H001) -- cold path: only taken when the source missed the schedule
                 FloodOutcome::new(source, per_node, self.config.slot_duration)
             };
             data.push(SlotOutcome {
@@ -367,13 +368,14 @@ impl<'a> RoundExecutor<'a> {
         RoundOutcome {
             round_index: schedule.round_index(),
             start,
-            schedule: schedule.clone(),
+            schedule: schedule.clone(), // lint: allow(H001) -- the outcome owns its schedule; once per round
             control,
             synced,
             alive,
             data,
             slot_duration: self.config.slot_duration,
         }
+        // lint: hot-end
     }
 }
 

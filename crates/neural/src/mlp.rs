@@ -155,6 +155,7 @@ impl Mlp {
 
     /// Number of outputs produced by the network.
     pub fn num_outputs(&self) -> usize {
+        // lint: allow(P001) -- Mlp::new rejects empty layer lists, so `layers` is never empty
         self.layers.last().expect("non-empty").outputs
     }
 
@@ -188,6 +189,7 @@ impl Mlp {
         let out = self.forward(input);
         out.iter()
             .enumerate()
+            // lint: allow(P001) -- finite weights x finite inputs: forward() cannot produce NaN
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
             .map(|(i, _)| i)
             .unwrap_or(0)
@@ -221,11 +223,13 @@ impl Mlp {
         for layer in &self.layers {
             let mut pre = Vec::new();
             let mut out = Vec::new();
+            // lint: allow(P001) -- `activations` is seeded with the input row before the loop
             layer.forward(activations.last().expect("non-empty"), &mut pre, &mut out);
             pre_activations.push(pre);
             activations.push(out);
         }
 
+        // lint: allow(P001) -- `activations` is seeded with the input row before the loop
         let output = activations.last().expect("non-empty");
         let error = output[output_index] - target;
         let loss = error * error;
@@ -238,8 +242,10 @@ impl Mlp {
             * self
                 .layers
                 .last()
+                // lint: allow(P001) -- Mlp::new rejects empty layer lists
                 .expect("non-empty")
                 .activation
+                // lint: allow(P001) -- the forward pass above pushed one entry per layer
                 .derivative(pre_activations.last().expect("non-empty")[output_index]);
 
         for l in (0..self.layers.len()).rev() {

@@ -62,6 +62,7 @@ impl QuantizedNetwork {
 
     /// Number of outputs produced by the network.
     pub fn num_outputs(&self) -> usize {
+        // lint: allow(P001) -- quantization preserves the layer list, which Mlp::new keeps non-empty
         self.layers.last().expect("non-empty").outputs
     }
 

@@ -51,21 +51,22 @@ impl std::error::Error for ParseNetworkError {}
 /// ```
 pub fn to_text(mlp: &Mlp) -> String {
     let mut s = String::new();
+    // lint: allow(P001) -- fmt::Write into a String cannot fail
     writeln!(s, "mlp v1").expect("writing to a String cannot fail");
-    writeln!(s, "layers {}", mlp.layers().len()).expect("infallible");
+    writeln!(s, "layers {}", mlp.layers().len()).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
     for layer in mlp.layers() {
         let act = match layer.activation {
             Activation::Relu => "relu",
             Activation::Linear => "linear",
         };
-        writeln!(s, "layer {} {} {}", layer.inputs, layer.outputs, act).expect("infallible");
+        writeln!(s, "layer {} {} {}", layer.inputs, layer.outputs, act).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
         for o in 0..layer.outputs {
             let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
             let joined: Vec<String> = row.iter().map(|w| format!("{w}")).collect();
-            writeln!(s, "w {}", joined.join(" ")).expect("infallible");
+            writeln!(s, "w {}", joined.join(" ")).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
         }
         let joined: Vec<String> = layer.biases.iter().map(|b| format!("{b}")).collect();
-        writeln!(s, "b {}", joined.join(" ")).expect("infallible");
+        writeln!(s, "b {}", joined.join(" ")).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
     }
     s
 }

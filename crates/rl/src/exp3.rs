@@ -126,6 +126,7 @@ impl Exp3 {
         self.weights
             .iter()
             .enumerate()
+            // lint: allow(P001) -- update() renormalizes and clamps, so weights stay finite
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
             .map(|(i, _)| i)
             .unwrap_or(0)

@@ -362,6 +362,7 @@ impl Topology {
         dist[from.index()] = Some(0);
         queue.push_back(from);
         while let Some(u) = queue.pop_front() {
+            // lint: allow(P001) -- BFS invariant: a node is queued only after its distance is set
             let du = dist[u.index()].expect("queued nodes have a distance");
             for v in self.node_ids() {
                 if v != u && dist[v.index()].is_none() && self.link(u, v).prr() >= min_prr {

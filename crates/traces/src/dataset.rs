@@ -172,7 +172,7 @@ impl TraceDataset {
     /// Serializes the dataset to the line-oriented text format.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        writeln!(s, "dimmer-trace v1").expect("infallible");
+        writeln!(s, "dimmer-trace v1").expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
         writeln!(
             s,
             "nodes {} nmax {} samples {}",
@@ -180,15 +180,16 @@ impl TraceDataset {
             self.n_max,
             self.samples.len()
         )
+        // lint: allow(P001) -- fmt::Write into a String cannot fail
         .expect("infallible");
         for sample in &self.samples {
-            writeln!(s, "sample {}", sample.interference_ratio).expect("infallible");
+            writeln!(s, "sample {}", sample.interference_ratio).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
             for (ntx, o) in sample.outcomes.iter().enumerate() {
                 let rel: Vec<String> = o.reliabilities.iter().map(|r| format!("{r}")).collect();
                 let on: Vec<String> = o.radio_on_us.iter().map(|r| format!("{r}")).collect();
-                writeln!(s, "ntx {ntx} losses {}", o.losses).expect("infallible");
-                writeln!(s, "rel {}", rel.join(" ")).expect("infallible");
-                writeln!(s, "on {}", on.join(" ")).expect("infallible");
+                writeln!(s, "ntx {ntx} losses {}", o.losses).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
+                writeln!(s, "rel {}", rel.join(" ")).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
+                writeln!(s, "on {}", on.join(" ")).expect("infallible"); // lint: allow(P001) -- fmt::Write into a String cannot fail
             }
         }
         s
