@@ -16,11 +16,11 @@
 use criterion::Criterion;
 use dimmer_bench::experiments::fig5_run;
 use dimmer_core::AdaptivityPolicy;
-use dimmer_glossy::{FloodSimulator, GlossyConfig, ReferenceFloodSimulator};
+use dimmer_glossy::{FloodBatch, FloodJob, FloodSimulator, GlossyConfig, ReferenceFloodSimulator};
 use dimmer_lwb::{LwbConfig, LwbScheduler, RoundExecutor};
 use dimmer_sim::{
-    CompositeInterference, InterferenceModel, NoInterference, NodeId, PeriodicJammer, SimRng,
-    SimTime, Topology, WifiInterference, WifiLevel,
+    topogen, CompositeInterference, InterferenceModel, NoInterference, NodeId, PeriodicJammer,
+    SimRng, SimTime, Topology, WifiInterference, WifiLevel,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -100,6 +100,30 @@ fn main() {
     let (o, r) = bench_flood_pair(&mut c, "grid100_jam30_ntx3", &grid, &grid_jam, 3);
     pairs.push(("grid100_jam30_ntx3", o, r));
 
+    // The sparse scaling rungs: CSR-only worlds from `topogen`, driven
+    // through the batched flood driver (no reference pair — the dense
+    // reference cannot even represent the 10k-node world). These feed the
+    // `"scaling"` curve in the JSON report.
+    let mut scaling: Vec<(&str, usize, String)> = Vec::new();
+    for (label, rows, cols) in [
+        ("grid100", 10usize, 10usize),
+        ("grid1k", 32, 32),
+        ("grid10k", 100, 100),
+    ] {
+        let world = topogen::sparse_grid(rows, cols, 8.0, 1);
+        let nodes = world.num_nodes();
+        let id = format!("flood/{label}_sparse/batched");
+        let mut batch = FloodBatch::new(world, &NoInterference);
+        let cfg = GlossyConfig::with_uniform_ntx(3);
+        let job = FloodJob {
+            initiator: NodeId(0),
+            start: SimTime::ZERO,
+            seed: 1,
+        };
+        c.bench_function(&id, |b| b.iter(|| batch.run_one(&cfg, &job)));
+        scaling.push((label, nodes, id));
+    }
+
     // Full LWB round (control slot + 18 data slots) on the optimized path.
     {
         let lwb = LwbConfig::testbed_default();
@@ -132,7 +156,17 @@ fn main() {
             res.id, res.mean_ns, res.iters, comma
         );
     }
-    json.push_str("  ],\n  \"speedups\": {\n");
+    json.push_str("  ],\n  \"scaling\": {\n");
+    for (i, (label, nodes, id)) in scaling.iter().enumerate() {
+        let mean = c.mean_ns(id).expect("scaling bench ran");
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{\"nodes\": {nodes}, \"mean_ns\": {mean:.1}}}{comma}"
+        );
+        println!("scaling {label:<24} {nodes:>6} nodes {mean:>14.1} ns/flood");
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
     let mut headline = 0.0f64;
     for (i, (label, opt_id, ref_id)) in pairs.iter().enumerate() {
         let opt = c.mean_ns(opt_id).expect("optimized bench ran");

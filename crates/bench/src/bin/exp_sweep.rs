@@ -17,9 +17,13 @@
 //!   `static,dimmer-rule`) on square grid topologies (3x3 .. 6x6) with a
 //!   jammer at the grid centre: a scalability sweep that was impractical
 //!   before the parallel engine.
+//! * `city` — batched floods over the sparse city-scale worlds
+//!   (city-block, campus, warehouse, 2500-node grid): the CSR-only
+//!   compiled topologies no dense sweep can represent. `--protocols` does
+//!   not apply (the cells compare worlds, not protocols).
 
 use dimmer_bench::experiments::{
-    fig5_seed_sweep_grid, protocol_list, topology_size_grid, TESTBED_PROTOCOLS,
+    city_scale_grid, fig5_seed_sweep_grid, protocol_list, topology_size_grid, TESTBED_PROTOCOLS,
 };
 use dimmer_bench::harness::HarnessCli;
 use dimmer_bench::scenarios::dimmer_policy;
@@ -47,8 +51,14 @@ fn main() {
             };
             (topology_size_grid(rounds, &[3, 4, 5, 6], &protocols), 8)
         }
+        "city" => {
+            let floods = if cli.quick { 8 } else { 24 };
+            (city_scale_grid(floods), 4)
+        }
         other => {
-            eprintln!("error: unknown --preset '{other}' (expected fig5-seeds or topology-size)");
+            eprintln!(
+                "error: unknown --preset '{other}' (expected fig5-seeds, topology-size or city)"
+            );
             std::process::exit(2);
         }
     };

@@ -617,6 +617,90 @@ pub fn topology_size_grid(rounds: usize, sides: &[usize], protocols: &[String]) 
     grid
 }
 
+/// Preset: batched floods over the city-scale sparse worlds
+/// (`exp_sweep --preset city`) — the first sweep that runs on CSR-only
+/// compiled topologies from [`dimmer_sim::topogen`], far beyond anything a
+/// dense [`Topology`] can represent. Each trial builds the preset world
+/// (fixed world seed — the world *is* the cell), drives `floods`
+/// independent floods through one shared [`dimmer_glossy::FloodBatch`]
+/// with initiators
+/// rotating across the network and per-flood seeds derived from the trial
+/// seed, and reports flood-level metrics. A jammer parked at the world
+/// centroid supplies interference. All metrics are deterministic per seed,
+/// so harness reports stay byte-identical across `--threads`.
+pub fn city_scale_grid(floods: usize) -> ScenarioGrid {
+    use dimmer_glossy::{FloodBatch, FloodJob, GlossyConfig};
+    use dimmer_sim::{topogen, SimDuration, SimTime};
+
+    let mut grid = ScenarioGrid::new("city_scale");
+    type WorldBuilder = fn() -> dimmer_sim::CompiledTopology;
+    let worlds: [(&str, WorldBuilder); 4] = [
+        ("city_6x6x32", || topogen::city_blocks(6, 6, 32, 1)),
+        ("campus_12x48", || topogen::campus(12, 48, 1)),
+        ("warehouse_8x40", || topogen::warehouse_floor(8, 40, 1)),
+        ("grid_50x50", || topogen::sparse_grid(50, 50, 8.0, 1)),
+    ];
+    for (label, build) in worlds {
+        grid.push_cell(
+            label,
+            vec![
+                ("world".into(), label.into()),
+                ("nodes".into(), build().num_nodes().to_string()),
+            ],
+            move |seed| {
+                let world = build();
+                let n = world.num_nodes();
+                // Centroid-parked jammer: deterministic, position-derived.
+                let centroid =
+                    world
+                        .positions()
+                        .iter()
+                        .fold(dimmer_sim::Position::new(0.0, 0.0), |acc, p| {
+                            dimmer_sim::Position::new(
+                                acc.x + p.x / n as f64,
+                                acc.y + p.y / n as f64,
+                            )
+                        });
+                let mut interference = CompositeInterference::new();
+                interference.push(Box::new(PeriodicJammer::with_duty_cycle(centroid, 0.15)));
+                let mut batch = FloodBatch::new(world, &interference);
+                // City-scale worlds span dozens of hops: give the flood a
+                // 200 ms slot budget instead of the testbed's 20 ms.
+                let cfg = GlossyConfig {
+                    max_slot_duration: SimDuration::from_millis(200),
+                    ..GlossyConfig::with_uniform_ntx(3)
+                };
+                let jobs: Vec<FloodJob> = (0..floods)
+                    .map(|k| FloodJob {
+                        // Rotate initiators across the world, co-prime step.
+                        initiator: NodeId(((k * 8191) % n) as u16),
+                        start: SimTime::from_millis(k as u64 * 250),
+                        seed: SimRng::derive_seed(seed, &[k as u64]),
+                    })
+                    .collect();
+                let outcomes = batch.run(&cfg, &jobs);
+                let reliability =
+                    outcomes.iter().map(|o| o.reliability()).sum::<f64>() / outcomes.len() as f64;
+                let radio_on_ms = outcomes
+                    .iter()
+                    .map(|o| o.mean_radio_on().as_millis_f64())
+                    .sum::<f64>()
+                    / outcomes.len() as f64;
+                let duration_ms = outcomes
+                    .iter()
+                    .map(|o| o.duration().as_millis_f64())
+                    .sum::<f64>()
+                    / outcomes.len() as f64;
+                TrialMetrics::new()
+                    .with("reliability", reliability)
+                    .with("radio_on_ms", radio_on_ms)
+                    .with("flood_ms", duration_ms)
+            },
+        );
+    }
+    grid
+}
+
 /// The Fig. 6 forwarder-selection grid (`exp_fig6`): Exp3 forwarder
 /// selection against the all-forwarders reference. `selection_cache` may
 /// hold an already-simulated with-selection run (see [`CachedRun`]).

@@ -46,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod flood;
 pub mod outcome;
 pub mod reference;
 
+pub use batch::{FloodBatch, FloodJob};
 pub use config::{GlossyConfig, NtxAssignment};
 pub use flood::{FloodSimulator, FloodWorkspace};
 pub use outcome::{FloodOutcome, NodeFloodOutcome};

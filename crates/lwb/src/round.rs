@@ -250,9 +250,31 @@ impl<'a> RoundExecutor<'a> {
         }
     }
 
-    /// The topology rounds are executed over.
-    pub fn topology(&self) -> &Topology {
+    /// Creates a round executor directly over an already-compiled world —
+    /// the entry point for sparse (CSR-only) topologies from
+    /// [`dimmer_sim::topogen`] that never materialize a dense [`Topology`].
+    pub fn from_compiled(
+        compiled: dimmer_sim::CompiledTopology,
+        interference: &'a dyn InterferenceModel,
+        config: LwbConfig,
+    ) -> Self {
+        RoundExecutor {
+            flood: FloodSimulator::from_compiled(compiled, interference),
+            config,
+        }
+    }
+
+    /// The construction topology, when the executor was built from a dense
+    /// [`Topology`] (`None` after [`from_compiled`](Self::from_compiled)).
+    pub fn topology(&self) -> Option<&'a Topology> {
         self.flood.topology()
+    }
+
+    /// The compiled world rounds are executed over — always available and,
+    /// unlike [`topology`](Self::topology), kept current by dynamic-world
+    /// events.
+    pub fn compiled(&self) -> &dimmer_sim::CompiledTopology {
+        self.flood.compiled()
     }
 
     /// The LWB configuration.
@@ -285,8 +307,8 @@ impl<'a> RoundExecutor<'a> {
         rng: &mut SimRng,
     ) -> RoundOutcome {
         // lint: hot-begin
-        let n = self.topology().num_nodes();
-        let coordinator = self.topology().coordinator();
+        let n = self.flood.compiled().num_nodes();
+        let coordinator = self.flood.compiled().coordinator();
         let slot_advance = self.config.slot_duration + self.config.slot_gap;
 
         // Control slot: every node listens for the schedule on channel 26.

@@ -20,12 +20,36 @@
 //! product by `1.0 - prr` is a bitwise no-op. This is what lets the
 //! optimized flood kernel in `dimmer-glossy` skip negligible links while
 //! staying **bit-identical** to the dense reference implementation.
+//!
+//! # Sparse (CSR-only) worlds
+//!
+//! The dense matrices cost `O(n²)` memory (a 100k-node world would need
+//! ~160 GB for the two `f64` matrices alone), so above
+//! [`DENSE_NODE_LIMIT`] nodes compilation switches to **sparse mode**: only
+//! the two CSR views are built and the dense mirrors are skipped entirely.
+//! Every kernel-facing query keeps working — the flood kernel's miss gather
+//! simply always takes its in-CSR path, which is bit-identical to the dense
+//! row by construction (the CSR omits exactly the factors that are `1.0`
+//! bitwise). Force the mode explicitly with
+//! [`CompiledTopology::compile_sparse`] /
+//! [`CompiledTopology::from_prr_matrix_sparse`], or build city-scale worlds
+//! straight from an edge list with [`CompiledTopology::from_links`] without
+//! ever materializing an `n²` matrix.
 
 use crate::topology::{NodeId, Position, Topology};
 use crate::world::WorldEvent;
 
 /// Number of link-quality buckets exposed by [`CompiledTopology`].
 pub const QUALITY_BUCKETS: usize = 10;
+
+/// Largest node count for which [`CompiledTopology::compile`] and
+/// [`CompiledTopology::from_prr_matrix`] still build the dense `O(n²)`
+/// PRR / miss-factor mirrors; larger worlds compile CSR-only (sparse mode).
+///
+/// At the limit the two mirrors cost `2 × 512² × 8 B = 4 MiB` — cheap enough
+/// to keep the kernel's dense few-transmitter gather. One step above, the
+/// quadratic growth starts dominating every other allocation.
+pub const DENSE_NODE_LIMIT: usize = 512;
 
 /// One stored (outgoing) link of a [`CompiledTopology`] node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,8 +86,8 @@ pub struct CompiledTopology {
     num_nodes: usize,
     coordinator: NodeId,
     positions: Vec<Position>,
-    /// Dense row-major `num_nodes × num_nodes` PRR matrix; diagonal is 0.
-    prr: Vec<f64>,
+    /// Dense `O(n²)` mirrors; `None` in sparse (CSR-only) mode.
+    dense: Option<DenseMirror>,
     /// CSR row offsets into `col_idx` / `link_prr` / `link_bucket`.
     row_ptr: Vec<u32>,
     /// CSR destination ids, ascending within each row.
@@ -72,16 +96,23 @@ pub struct CompiledTopology {
     link_prr: Vec<f64>,
     /// CSR link quality buckets, parallel to `col_idx`.
     link_bucket: Vec<u8>,
-    /// Dense *transposed* miss-factor matrix: `miss_factor[r * n + t]`
-    /// is `1.0 - prr(t → r)`, so a receiver's factors over all
-    /// transmitters are contiguous.
-    miss_factor: Vec<f64>,
     /// In-link CSR row offsets into `in_col_idx` / `in_factor`.
     in_row_ptr: Vec<u32>,
     /// In-link CSR source ids, ascending within each row.
     in_col_idx: Vec<u16>,
     /// In-link CSR miss factors (`1.0 - prr(source → row node)`).
     in_factor: Vec<f64>,
+}
+
+/// The dense `O(n²)` matrices kept alongside the CSRs for small worlds.
+#[derive(Debug, Clone, PartialEq)]
+struct DenseMirror {
+    /// Dense row-major `num_nodes × num_nodes` PRR matrix; diagonal is 0.
+    prr: Vec<f64>,
+    /// Dense *transposed* miss-factor matrix: `miss_factor[r * n + t]`
+    /// is `1.0 - prr(t → r)`, so a receiver's factors over all
+    /// transmitters are contiguous.
+    miss_factor: Vec<f64>,
 }
 
 impl CompiledTopology {
@@ -105,7 +136,22 @@ impl CompiledTopology {
     }
 
     /// Compiles a [`Topology`] into the structure-of-arrays form.
+    ///
+    /// Worlds up to [`DENSE_NODE_LIMIT`] nodes keep the dense mirrors;
+    /// larger worlds compile CSR-only (see the module docs).
     pub fn compile(topology: &Topology) -> Self {
+        Self::compile_with_mode(topology, topology.num_nodes() <= DENSE_NODE_LIMIT)
+    }
+
+    /// Compiles a [`Topology`] CSR-only, regardless of its size.
+    ///
+    /// Small sparse worlds are what the equivalence suite pins against the
+    /// dense path; at scale this is the only mode that fits in memory.
+    pub fn compile_sparse(topology: &Topology) -> Self {
+        Self::compile_with_mode(topology, false)
+    }
+
+    fn compile_with_mode(topology: &Topology, want_dense: bool) -> Self {
         let n = topology.num_nodes();
         let mut prr = vec![0.0; n * n];
         for i in 0..n {
@@ -119,14 +165,16 @@ impl CompiledTopology {
             .node_ids()
             .map(|id| topology.position(id))
             .collect();
-        Self::from_parts(positions, topology.coordinator(), prr)
+        Self::from_parts(positions, topology.coordinator(), prr, want_dense)
     }
 
     /// Builds a compiled topology from a raw row-major PRR matrix.
     ///
     /// Unlike [`Topology`], the matrix may be *asymmetric*
     /// (`prr[i][j] != prr[j][i]`); the CSR stores outgoing links per row, so
-    /// directional deployments compile correctly.
+    /// directional deployments compile correctly. Worlds up to
+    /// [`DENSE_NODE_LIMIT`] nodes keep the dense mirrors; larger worlds
+    /// compile CSR-only.
     ///
     /// # Panics
     ///
@@ -134,6 +182,31 @@ impl CompiledTopology {
     /// `n < 1`, if the coordinator is out of range, or if any entry is
     /// outside `[0, 1]`.
     pub fn from_prr_matrix(positions: Vec<Position>, coordinator: NodeId, prr: Vec<f64>) -> Self {
+        let want_dense = positions.len() <= DENSE_NODE_LIMIT;
+        Self::from_matrix_checked(positions, coordinator, prr, want_dense)
+    }
+
+    /// [`from_prr_matrix`](Self::from_prr_matrix), but CSR-only regardless
+    /// of size — the forced-sparse twin the equivalence suite compares
+    /// against the dense path on small worlds.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`from_prr_matrix`](Self::from_prr_matrix).
+    pub fn from_prr_matrix_sparse(
+        positions: Vec<Position>,
+        coordinator: NodeId,
+        prr: Vec<f64>,
+    ) -> Self {
+        Self::from_matrix_checked(positions, coordinator, prr, false)
+    }
+
+    fn from_matrix_checked(
+        positions: Vec<Position>,
+        coordinator: NodeId,
+        prr: Vec<f64>,
+        want_dense: bool,
+    ) -> Self {
         let n = positions.len();
         assert!(n >= 1, "a compiled topology needs at least one node");
         assert_eq!(prr.len(), n * n, "PRR matrix must be n x n");
@@ -145,10 +218,131 @@ impl CompiledTopology {
             prr.iter().all(|p| (0.0..=1.0).contains(p)),
             "PRR entries must be in [0, 1]"
         );
-        Self::from_parts(positions, coordinator, prr)
+        Self::from_parts(positions, coordinator, prr, want_dense)
     }
 
-    fn from_parts(positions: Vec<Position>, coordinator: NodeId, prr: Vec<f64>) -> Self {
+    /// Builds a **sparse** compiled topology straight from a directional
+    /// edge list, without ever materializing an `n²` matrix — the only
+    /// constructor that scales to city-sized worlds.
+    ///
+    /// Links are `(from, to, prr)` triples; push both directions for a
+    /// symmetric link. Immaterial links (where
+    /// [`link_matters`](Self::link_matters) is `false`) are dropped exactly
+    /// like the matrix constructors drop them, so a sparse world built from
+    /// links equals one built from the equivalent matrix, field for field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1` or `n > 65536`, if the coordinator or a link
+    /// endpoint is out of range, on self-links, on duplicate `(from, to)`
+    /// pairs, or on PRRs outside `[0, 1]`.
+    pub fn from_links(
+        positions: Vec<Position>,
+        coordinator: NodeId,
+        links: &[(NodeId, NodeId, f64)],
+    ) -> Self {
+        let n = positions.len();
+        assert!(n >= 1, "a compiled topology needs at least one node");
+        assert!(
+            n <= u16::MAX as usize + 1,
+            "compiled topologies support at most 65536 nodes"
+        );
+        assert!(
+            coordinator.index() < n,
+            "coordinator must be one of the nodes"
+        );
+        // Keep only material links, sorted by (from, to) — the CSR order.
+        let mut edges: Vec<(u16, u16, f64)> = Vec::with_capacity(links.len());
+        for &(from, to, p) in links {
+            assert!(
+                from.index() < n && to.index() < n,
+                "link endpoint out of range"
+            );
+            assert!(from != to, "a link needs two distinct endpoints");
+            assert!((0.0..=1.0).contains(&p), "PRR entries must be in [0, 1]");
+            if Self::link_matters(p) {
+                edges.push((from.0, to.0, p));
+            }
+        }
+        edges.sort_unstable_by_key(|&(f, t, _)| (f, t));
+        for w in edges.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) != (w[1].0, w[1].1),
+                "duplicate link ({} -> {})",
+                w[0].0,
+                w[0].1
+            );
+        }
+        // Out-CSR straight from the sorted edge list.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(edges.len());
+        let mut link_prr = Vec::with_capacity(edges.len());
+        let mut link_bucket = Vec::with_capacity(edges.len());
+        row_ptr.push(0u32);
+        let mut k = 0usize;
+        for i in 0..n {
+            while k < edges.len() && edges[k].0 as usize == i {
+                col_idx.push(edges[k].1);
+                link_prr.push(edges[k].2);
+                link_bucket.push(Self::quality_bucket(edges[k].2));
+                k += 1;
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        let mut topo = CompiledTopology {
+            num_nodes: n,
+            coordinator,
+            positions,
+            dense: None,
+            row_ptr,
+            col_idx,
+            link_prr,
+            link_bucket,
+            in_row_ptr: Vec::new(),
+            in_col_idx: Vec::new(),
+            in_factor: Vec::new(),
+        };
+        topo.rebuild_in_csr();
+        topo
+    }
+
+    /// Rebuilds the in-link CSR from the out-link CSR (counting sort over
+    /// destinations; scanning sources ascending keeps each in-row sorted).
+    fn rebuild_in_csr(&mut self) {
+        let n = self.num_nodes;
+        let m = self.col_idx.len();
+        let mut in_row_ptr = vec![0u32; n + 1];
+        for &j in &self.col_idx {
+            in_row_ptr[j as usize + 1] += 1;
+        }
+        for r in 0..n {
+            in_row_ptr[r + 1] += in_row_ptr[r];
+        }
+        let mut in_col_idx = vec![0u16; m];
+        let mut in_factor = vec![0.0f64; m];
+        let mut next = in_row_ptr.clone();
+        for i in 0..n {
+            let lo = self.row_ptr[i] as usize;
+            let hi = self.row_ptr[i + 1] as usize;
+            for k in lo..hi {
+                let j = self.col_idx[k] as usize;
+                let slot = next[j] as usize;
+                in_col_idx[slot] = i as u16;
+                in_factor[slot] = 1.0 - self.link_prr[k];
+                next[j] += 1;
+            }
+        }
+        self.in_row_ptr = in_row_ptr;
+        self.in_col_idx = in_col_idx;
+        self.in_factor = in_factor;
+    }
+
+    fn from_parts(
+        positions: Vec<Position>,
+        coordinator: NodeId,
+        prr: Vec<f64>,
+        want_dense: bool,
+    ) -> Self {
         let n = positions.len();
         assert!(
             n <= u16::MAX as usize + 1,
@@ -170,10 +364,8 @@ impl CompiledTopology {
             }
             row_ptr.push(col_idx.len() as u32);
         }
-        // Transposed dense miss factors and the in-link CSR: the flood
-        // kernel gathers per *receiver*, so its factors must be contiguous
-        // per receiver (and its sparse rows keyed by incoming links).
-        let mut miss_factor = vec![1.0; n * n];
+        // The in-link CSR: the flood kernel gathers per *receiver*, so its
+        // sparse rows are keyed by incoming links.
         let mut in_row_ptr = Vec::with_capacity(n + 1);
         let mut in_col_idx = Vec::new();
         let mut in_factor = Vec::new();
@@ -181,7 +373,6 @@ impl CompiledTopology {
         for r in 0..n {
             for t in 0..n {
                 let p = prr[t * n + r];
-                miss_factor[r * n + t] = 1.0 - p;
                 if t != r && Self::link_matters(p) {
                     in_col_idx.push(t as u16);
                     in_factor.push(1.0 - p);
@@ -189,16 +380,26 @@ impl CompiledTopology {
             }
             in_row_ptr.push(in_col_idx.len() as u32);
         }
+        // Transposed dense miss factors (contiguous per receiver), only for
+        // small worlds: above the limit the quadratic mirrors are skipped.
+        let dense = want_dense.then(|| {
+            let mut miss_factor = vec![1.0; n * n];
+            for r in 0..n {
+                for t in 0..n {
+                    miss_factor[r * n + t] = 1.0 - prr[t * n + r];
+                }
+            }
+            DenseMirror { prr, miss_factor }
+        });
         CompiledTopology {
             num_nodes: n,
             coordinator,
             positions,
-            prr,
+            dense,
             row_ptr,
             col_idx,
             link_prr,
             link_bucket,
-            miss_factor,
             in_row_ptr,
             in_col_idx,
             in_factor,
@@ -229,13 +430,45 @@ impl CompiledTopology {
         &self.positions
     }
 
-    /// Dense PRR lookup (0 on the diagonal).
+    /// Whether the dense `O(n²)` mirrors exist (see [`DENSE_NODE_LIMIT`]).
+    pub fn has_dense(&self) -> bool {
+        self.dense.is_some()
+    }
+
+    /// Whether this topology is CSR-only (no dense mirrors).
+    pub fn is_sparse(&self) -> bool {
+        self.dense.is_none()
+    }
+
+    /// PRR lookup (0 on the diagonal).
+    ///
+    /// Dense mode reads the matrix in `O(1)`; sparse mode binary-searches
+    /// the out-CSR row in `O(log degree)` and reports `0.0` for any link it
+    /// does not store — sparse worlds canonicalize *immaterial* PRRs (those
+    /// failing [`link_matters`](Self::link_matters), e.g. `1e-18`) to `0.0`.
+    /// No flood outcome can tell the difference: the kernel only ever
+    /// multiplies by material factors.
     ///
     /// # Panics
     ///
     /// Panics if either node is out of range.
     pub fn prr(&self, from: NodeId, to: NodeId) -> f64 {
-        self.prr[from.index() * self.num_nodes + to.index()]
+        let (i, j) = (from.index(), to.index());
+        assert!(
+            i < self.num_nodes && j < self.num_nodes,
+            "node out of range"
+        );
+        match &self.dense {
+            Some(d) => d.prr[i * self.num_nodes + j],
+            None => {
+                let lo = self.row_ptr[i] as usize;
+                let hi = self.row_ptr[i + 1] as usize;
+                match self.col_idx[lo..hi].binary_search(&(j as u16)) {
+                    Ok(pos) => self.link_prr[lo + pos],
+                    Err(_) => 0.0,
+                }
+            }
+        }
     }
 
     /// Number of links stored in the CSR (over all nodes).
@@ -297,10 +530,16 @@ impl CompiledTopology {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is out of range.
+    /// Panics if `node` is out of range, or in sparse mode — gate on
+    /// [`has_dense`](Self::has_dense) and gather through
+    /// [`in_neighbor_slices`](Self::in_neighbor_slices) instead.
     #[inline]
     pub fn miss_factor_row(&self, node: usize) -> &[f64] {
-        &self.miss_factor[node * self.num_nodes..(node + 1) * self.num_nodes]
+        // lint: allow(P001) -- contract: callers gate on has_dense()
+        let dense = self.dense.as_ref().expect(
+            "miss_factor_row needs the dense mirrors; sparse worlds gather via in_neighbor_slices",
+        );
+        &dense.miss_factor[node * self.num_nodes..(node + 1) * self.num_nodes]
     }
 
     /// Iterator over one node's stored outgoing links, ascending by
@@ -320,14 +559,18 @@ impl CompiledTopology {
     }
 
     /// Incrementally patches one directional link to `new_prr`, updating
-    /// the dense PRR and miss-factor matrices and both CSR views in place.
+    /// the dense PRR and miss-factor matrices (when present) and both CSR
+    /// views in place.
     ///
     /// The result is **identical** (full struct equality, CSR layout
     /// included) to rebuilding via [`from_prr_matrix`](Self::from_prr_matrix)
     /// with the patched matrix — pinned by a property test — but costs
     /// `O(degree)` when the link stays material (or stays immaterial) and
     /// `O(total links)` when it appears or vanishes, instead of the `O(n²)`
-    /// full recompilation.
+    /// full recompilation. Sparse worlds stay `O(degree)` / `O(links)` too:
+    /// there is no dense write, and the "old" value is read from the CSR
+    /// (immaterial PRRs read back as their canonical `0.0` — see
+    /// [`prr`](Self::prr)).
     ///
     /// # Panics
     ///
@@ -339,12 +582,14 @@ impl CompiledTopology {
         assert!(i < n && j < n, "node out of range");
         assert!(i != j, "a link needs two distinct endpoints");
         assert!((0.0..=1.0).contains(&new_prr), "PRR must be in [0, 1]");
-        let old = self.prr[i * n + j];
+        let old = self.prr(from, to);
         if old.to_bits() == new_prr.to_bits() {
             return;
         }
-        self.prr[i * n + j] = new_prr;
-        self.miss_factor[j * n + i] = 1.0 - new_prr;
+        if let Some(d) = &mut self.dense {
+            d.prr[i * n + j] = new_prr;
+            d.miss_factor[j * n + i] = 1.0 - new_prr;
+        }
         let (was, is) = (Self::link_matters(old), Self::link_matters(new_prr));
         // Out-link CSR row of `from`, keyed by destination `to`.
         match csr_patch(&mut self.row_ptr, &mut self.col_idx, i, j as u16, was, is) {
@@ -386,8 +631,11 @@ impl CompiledTopology {
     /// * [`WorldEvent::LinkDrift`] patches both directions incrementally
     ///   via [`set_prr`](Self::set_prr);
     /// * [`WorldEvent::TopologySwap`] rebuilds from the new matrix
-    ///   (inherently a full recompilation), preserving positions and
-    ///   coordinator;
+    ///   (inherently a full recompilation), preserving positions,
+    ///   coordinator and the dense/sparse mode;
+    /// * [`WorldEvent::TopologyGrow`] appends nodes and wires their links
+    ///   in place (see [`grow`](Self::grow)) — `O(new links × n)` in sparse
+    ///   mode, never `O(n²)`;
     /// * membership and jammer events are topology no-ops (`false`) —
     ///   node failures are an *aliveness* concern handled by
     ///   [`World`](crate::World), so a later rejoin restores the world
@@ -406,11 +654,17 @@ impl CompiledTopology {
                 true
             }
             WorldEvent::TopologySwap { prr } => {
-                *self = Self::from_prr_matrix(
+                let keep_dense = self.dense.is_some();
+                *self = Self::from_matrix_checked(
                     std::mem::take(&mut self.positions),
                     self.coordinator,
                     prr.clone(), // lint: allow(H001) -- full-rebuild path: a swap is inherently O(n^2); drift stays allocation-free
+                    keep_dense,
                 );
+                true
+            }
+            WorldEvent::TopologyGrow { positions, links } => {
+                self.grow(positions, links);
                 true
             }
             WorldEvent::NodeFail(_)
@@ -420,6 +674,64 @@ impl CompiledTopology {
         // lint: hot-end
     }
 
+    /// Appends `new_positions.len()` nodes (ids continuing after the
+    /// current last node) and wires `links` — symmetric `(a, b, prr)`
+    /// triples whose endpoints may be old or new nodes — patching both CSR
+    /// views in place.
+    ///
+    /// The result is **identical** (full struct equality) to recompiling
+    /// the grown world from scratch — pinned by a property test. Sparse
+    /// worlds never materialize anything quadratic; dense worlds re-stride
+    /// their mirrors (`O(m²)`, still cheap below [`DENSE_NODE_LIMIT`]).
+    /// A grown world keeps its dense/sparse mode even if it crosses the
+    /// limit — the limit only picks the mode at construction time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grown world exceeds 65536 nodes, on out-of-range link
+    /// endpoints (relative to the *grown* node count), self-links, or PRRs
+    /// outside `[0, 1]`.
+    pub fn grow(&mut self, new_positions: &[Position], links: &[(NodeId, NodeId, f64)]) {
+        let old_n = self.num_nodes;
+        let m = old_n + new_positions.len();
+        assert!(
+            m <= u16::MAX as usize + 1,
+            "compiled topologies support at most 65536 nodes"
+        );
+        for &(a, b, prr) in links {
+            assert!(
+                a.index() < m && b.index() < m,
+                "grown link endpoint out of range"
+            );
+            assert!(a != b, "a link needs two distinct endpoints");
+            assert!((0.0..=1.0).contains(&prr), "PRR must be in [0, 1]");
+        }
+        self.positions.extend_from_slice(new_positions);
+        // New nodes start with empty CSR rows.
+        let tail = self.row_ptr[old_n];
+        self.row_ptr.resize(m + 1, tail);
+        let in_tail = self.in_row_ptr[old_n];
+        self.in_row_ptr.resize(m + 1, in_tail);
+        // Dense mirrors re-stride from n to m columns; the fresh cells are
+        // the no-link defaults (PRR 0, miss factor 1).
+        if let Some(d) = &mut self.dense {
+            let mut prr = vec![0.0; m * m];
+            let mut miss = vec![1.0; m * m];
+            for i in 0..old_n {
+                prr[i * m..i * m + old_n].copy_from_slice(&d.prr[i * old_n..(i + 1) * old_n]);
+                miss[i * m..i * m + old_n]
+                    .copy_from_slice(&d.miss_factor[i * old_n..(i + 1) * old_n]);
+            }
+            d.prr = prr;
+            d.miss_factor = miss;
+        }
+        self.num_nodes = m;
+        for &(a, b, prr) in links {
+            self.set_prr(a, b, prr);
+            self.set_prr(b, a, prr);
+        }
+    }
+
     /// Histogram of stored links per quality bucket.
     pub fn bucket_histogram(&self) -> [usize; QUALITY_BUCKETS] {
         let mut hist = [0usize; QUALITY_BUCKETS];
@@ -427,6 +739,60 @@ impl CompiledTopology {
             hist[b as usize] += 1;
         }
         hist
+    }
+
+    /// FNV-1a digest of the world's *semantic* content: node count,
+    /// coordinator, position bits and the out-CSR (offsets, destinations,
+    /// PRR bits). The in-CSR, buckets and dense mirrors are derived data
+    /// and excluded, so a dense and a sparse compilation of the same world
+    /// digest identically.
+    ///
+    /// This is what the golden-digest tests pin the clustered generators
+    /// with: any drift in generated positions or links changes the digest.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        fold(self.num_nodes as u64);
+        fold(self.coordinator.0 as u64);
+        for p in &self.positions {
+            fold(p.x.to_bits());
+            fold(p.y.to_bits());
+        }
+        for &r in &self.row_ptr {
+            fold(r as u64);
+        }
+        for &c in &self.col_idx {
+            fold(c as u64);
+        }
+        for &p in &self.link_prr {
+            fold(p.to_bits());
+        }
+        h
+    }
+
+    /// Approximate heap footprint of the compiled world in bytes (CSR
+    /// arrays, positions, and the dense mirrors when present) — the number
+    /// the "sparse vs dense" documentation and scaling benches report.
+    pub fn memory_bytes(&self) -> usize {
+        let csr = self.row_ptr.len() * 4
+            + self.col_idx.len() * 2
+            + self.link_prr.len() * 8
+            + self.link_bucket.len()
+            + self.in_row_ptr.len() * 4
+            + self.in_col_idx.len() * 2
+            + self.in_factor.len() * 8;
+        let dense = self
+            .dense
+            .as_ref()
+            .map_or(0, |d| (d.prr.len() + d.miss_factor.len()) * 8);
+        csr + dense + self.positions.len() * std::mem::size_of::<Position>()
     }
 }
 

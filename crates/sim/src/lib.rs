@@ -50,10 +50,11 @@ pub mod link;
 pub mod radio;
 pub mod rng;
 pub mod time;
+pub mod topogen;
 pub mod topology;
 pub mod world;
 
-pub use compiled::{CompiledLink, CompiledTopology, QUALITY_BUCKETS};
+pub use compiled::{CompiledLink, CompiledTopology, DENSE_NODE_LIMIT, QUALITY_BUCKETS};
 pub use interference::{
     CompositeInterference, InterferenceModel, MobileJammer, NoInterference, PeriodicJammer,
     ScheduledInterference, SlotInterference, WifiInterference, WifiLevel,

@@ -92,6 +92,21 @@ pub enum WorldEvent {
         /// Where it moves to.
         to: Position,
     },
+    /// Append `positions.len()` new nodes (ids continuing after the
+    /// current last node) and wire them with symmetric `(a, b, prr)`
+    /// links whose endpoints may be old or new nodes. New nodes start
+    /// alive. Sparse-friendly: no `n²` matrix is ever materialized (see
+    /// [`CompiledTopology::grow`](crate::CompiledTopology::grow)).
+    ///
+    /// Supported by the flood layer (`FloodSimulator::apply_world_event`
+    /// in `dimmer-glossy`); the round engines do not script growth yet —
+    /// their per-node state is sized at construction.
+    TopologyGrow {
+        /// Positions of the appended nodes.
+        positions: Vec<Position>,
+        /// Symmetric links to wire, endpoints in the *grown* id space.
+        links: Vec<(NodeId, NodeId, f64)>,
+    },
 }
 
 impl WorldEvent {
@@ -102,7 +117,9 @@ impl WorldEvent {
     pub fn is_topology_event(&self) -> bool {
         matches!(
             self,
-            WorldEvent::LinkDrift { .. } | WorldEvent::TopologySwap { .. }
+            WorldEvent::LinkDrift { .. }
+                | WorldEvent::TopologySwap { .. }
+                | WorldEvent::TopologyGrow { .. }
         )
     }
 }
@@ -175,6 +192,16 @@ impl ScenarioScript {
         self.at(at, WorldEvent::JammerRelocate { jammer, to })
     }
 
+    /// Schedules a topology growth (see [`WorldEvent::TopologyGrow`]).
+    pub fn grow_topology(
+        self,
+        at: SimTime,
+        positions: Vec<Position>,
+        links: Vec<(NodeId, NodeId, f64)>,
+    ) -> Self {
+        self.at(at, WorldEvent::TopologyGrow { positions, links })
+    }
+
     /// Resolves the relocation events of jammer `jammer` into the waypoint
     /// list a [`MobileJammer`](crate::MobileJammer) takes: the jammer sits
     /// at `initial` until its first scripted move.
@@ -202,6 +229,9 @@ pub struct WorldUpdate {
     pub failed: usize,
     /// Number of nodes that went from failed to alive.
     pub rejoined: usize,
+    /// Number of nodes appended by [`WorldEvent::TopologyGrow`] events
+    /// (they start alive and extend the alive mask).
+    pub grown: usize,
     /// Whether any fired event patches the topology
     /// ([`WorldEvent::is_topology_event`]).
     pub topology_changed: bool,
@@ -246,36 +276,47 @@ impl World {
             coordinator.index() < num_nodes,
             "coordinator must be one of the nodes"
         );
+        // Validation tracks the *running* node count: events scheduled
+        // after a TopologyGrow may reference the appended nodes.
+        let mut nodes = num_nodes;
         for (t, e) in script.events() {
             match e {
                 WorldEvent::NodeFail(n) => {
-                    assert!(n.index() < num_nodes, "scripted node {n} out of range");
+                    assert!(n.index() < nodes, "scripted node {n} out of range");
                     assert!(
                         *n != coordinator,
                         "the coordinator cannot fail (event at {t:?})"
                     );
                 }
                 WorldEvent::NodeRejoin(n) => {
-                    assert!(n.index() < num_nodes, "scripted node {n} out of range");
+                    assert!(n.index() < nodes, "scripted node {n} out of range");
                 }
                 WorldEvent::LinkDrift { a, b, prr } => {
                     assert!(
-                        a.index() < num_nodes && b.index() < num_nodes,
+                        a.index() < nodes && b.index() < nodes,
                         "scripted link endpoint out of range"
                     );
                     assert!(a != b, "a link needs two distinct endpoints");
                     assert!((0.0..=1.0).contains(prr), "PRR must be in [0, 1]");
                 }
                 WorldEvent::TopologySwap { prr } => {
-                    assert_eq!(
-                        prr.len(),
-                        num_nodes * num_nodes,
-                        "swapped PRR matrix must be n x n"
-                    );
+                    assert_eq!(prr.len(), nodes * nodes, "swapped PRR matrix must be n x n");
                     assert!(
                         prr.iter().all(|p| (0.0..=1.0).contains(p)),
                         "PRR entries must be in [0, 1]"
                     );
+                }
+                WorldEvent::TopologyGrow { positions, links } => {
+                    let grown = nodes + positions.len();
+                    for (a, b, prr) in links {
+                        assert!(
+                            a.index() < grown && b.index() < grown,
+                            "grown link endpoint out of range"
+                        );
+                        assert!(a != b, "a link needs two distinct endpoints");
+                        assert!((0.0..=1.0).contains(prr), "PRR must be in [0, 1]");
+                    }
+                    nodes = grown;
                 }
                 WorldEvent::JammerRelocate { .. } => {}
             }
@@ -353,6 +394,13 @@ impl World {
                 WorldEvent::NodeRejoin(n) if !self.alive[n.index()] => {
                     self.alive[n.index()] = true;
                     update.rejoined += 1;
+                }
+                WorldEvent::TopologyGrow { positions, .. } => {
+                    // Appended nodes start alive; the caller patches its
+                    // compiled substrate via the fired range as usual.
+                    self.alive.resize(self.alive.len() + positions.len(), true);
+                    update.grown += positions.len();
+                    update.topology_changed = true;
                 }
                 e if e.is_topology_event() => update.topology_changed = true,
                 _ => {}

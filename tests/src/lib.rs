@@ -5,6 +5,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod equivalence;
+
 use dimmer_sim::{CompositeInterference, PeriodicJammer};
 
 /// The two-jammer testbed interference at a given duty cycle.

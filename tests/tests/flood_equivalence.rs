@@ -12,31 +12,15 @@
 //! `N_TX` assignments and participation masks, plus a property test over
 //! random topologies and seeds.
 
-use dimmer_glossy::{
-    FloodOutcome, FloodSimulator, GlossyConfig, NtxAssignment, ReferenceFloodSimulator,
+use dimmer_glossy::{FloodSimulator, GlossyConfig, NtxAssignment, ReferenceFloodSimulator};
+use dimmer_integration::equivalence::{
+    assert_flood_equivalent as assert_equivalent, random_topology,
 };
 use dimmer_sim::{
     CompositeInterference, InterferenceModel, NoInterference, NodeId, PeriodicJammer, Position,
     ScheduledInterference, SimDuration, SimRng, SimTime, Topology, WifiInterference, WifiLevel,
 };
 use proptest::prelude::*;
-
-/// Runs the same flood on both implementations and asserts byte-equality.
-fn assert_equivalent(
-    topo: &Topology,
-    interference: &dyn InterferenceModel,
-    cfg: &GlossyConfig,
-    initiator: NodeId,
-    start: SimTime,
-    seed: u64,
-) -> FloodOutcome {
-    let mut fast = FloodSimulator::new(topo, interference);
-    let slow = ReferenceFloodSimulator::new(topo, interference);
-    let a = fast.flood(cfg, initiator, start, &mut SimRng::seed_from(seed));
-    let b = slow.flood(cfg, initiator, start, &mut SimRng::seed_from(seed));
-    assert_eq!(a, b, "optimized kernel diverged (seed {seed})");
-    a
-}
 
 #[test]
 fn kernels_agree_on_every_topology_builder() {
@@ -222,7 +206,7 @@ proptest! {
         initiator_pick in 0usize..30,
         duty_pct in 0u32..=50,
     ) {
-        let topo = Topology::random(n, 30.0, 30.0, topo_seed);
+        let topo = random_topology(n, topo_seed);
         let initiator = NodeId((initiator_pick % n) as u16);
         let cfg = GlossyConfig::with_uniform_ntx(ntx);
         let jam;

@@ -9,46 +9,10 @@
 //! an empty script shows up as a hash mismatch.
 
 use dimmer_baselines::SimulationBuilder;
-use dimmer_core::{DimmerRoundReport, RoundMode};
+use dimmer_integration::equivalence::report_stream_hash;
+use dimmer_integration::jamming as kiel_jamming;
 use dimmer_lwb::{LwbConfig, TrafficPattern};
-use dimmer_sim::{CompositeInterference, PeriodicJammer, Topology, WifiInterference, WifiLevel};
-
-fn kiel_jamming(duty: f64) -> CompositeInterference {
-    let mut comp = CompositeInterference::new();
-    for j in PeriodicJammer::kiel_pair(duty) {
-        comp.push(Box::new(j));
-    }
-    comp
-}
-
-/// FNV-1a over every (pre-world) field of every report, bit-exactly.
-fn report_stream_hash(reports: &[DimmerRoundReport]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut fold = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
-    for r in reports {
-        fold(r.round_index);
-        fold(r.time.as_micros());
-        fold(match r.mode {
-            RoundMode::Adaptivity => 0,
-            RoundMode::ForwarderSelection => 1,
-        });
-        fold(r.ntx as u64);
-        fold(r.reliability.to_bits());
-        fold(r.mean_radio_on.as_micros());
-        fold(r.losses as u64);
-        fold(r.reward.to_bits());
-        fold(r.active_forwarders as u64);
-        fold(r.energy_joules.to_bits());
-        fold(r.packets_generated as u64);
-        fold(r.packets_delivered as u64);
-    }
-    h
-}
+use dimmer_sim::{Topology, WifiInterference, WifiLevel};
 
 /// Runs `protocol` on the jammed 18-node testbed and digests 16 rounds.
 fn testbed_hash(protocol: &str, seed: u64) -> u64 {
