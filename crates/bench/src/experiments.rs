@@ -629,41 +629,108 @@ pub fn topology_size_grid(rounds: usize, sides: &[usize], protocols: &[String]) 
 /// centroid supplies interference. All metrics are deterministic per seed,
 /// so harness reports stay byte-identical across `--threads`.
 pub fn city_scale_grid(floods: usize) -> ScenarioGrid {
-    use dimmer_glossy::{FloodBatch, FloodJob, GlossyConfig};
-    use dimmer_sim::{topogen, SimDuration, SimTime};
+    city_scale_grid_from_worlds(floods, city_worlds().into_iter().map(Arc::new).collect())
+}
+
+/// A prebuilt city-scale world: the compiled CSR topology, its
+/// centroid-parked jammer model and the pristine compiled interference
+/// bank, ready to stamp out per-trial [`dimmer_glossy::FloodBatch`]es
+/// without recompiling anything.
+///
+/// This is the unit the `dimmerd` daemon's warm cache stores: building one
+/// of these is the expensive part of a city-scale trial (topology
+/// generation + bank compilation); cloning from it is cheap and
+/// bit-faithful, so warm-served reports are byte-identical to cold runs.
+#[derive(Debug)]
+pub struct CityWorld {
+    /// Preset label (doubles as the grid-cell label).
+    pub label: &'static str,
+    compiled: dimmer_sim::CompiledTopology,
+    interference: CompositeInterference,
+    bank: Option<Box<dyn dimmer_sim::SlotInterference>>,
+}
+
+impl CityWorld {
+    /// Builds a world from its deterministic builder and parks the 15 %
+    /// duty-cycle jammer at the world centroid, compiling the bank once.
+    fn build(label: &'static str, build: fn() -> dimmer_sim::CompiledTopology) -> Self {
+        let compiled = build();
+        let n = compiled.num_nodes();
+        // Centroid-parked jammer: deterministic, position-derived.
+        let centroid = compiled
+            .positions()
+            .iter()
+            .fold(dimmer_sim::Position::new(0.0, 0.0), |acc, p| {
+                dimmer_sim::Position::new(acc.x + p.x / n as f64, acc.y + p.y / n as f64)
+            });
+        let mut interference = CompositeInterference::new();
+        interference.push(Box::new(PeriodicJammer::with_duty_cycle(centroid, 0.15)));
+        let bank = interference.compile_for(compiled.positions());
+        CityWorld {
+            label,
+            compiled,
+            interference,
+            bank,
+        }
+    }
+
+    /// The shared compiled world.
+    pub fn compiled(&self) -> &dimmer_sim::CompiledTopology {
+        &self.compiled
+    }
+
+    /// Resident size of the compiled world plus a nominal bank share —
+    /// what a warm cache should account for this entry.
+    pub fn memory_bytes(&self) -> usize {
+        self.compiled.memory_bytes()
+    }
+
+    /// Stamps out a fresh [`dimmer_glossy::FloodBatch`] over a clone of the
+    /// world and a pristine clone of the compiled bank — the warm
+    /// equivalent of `FloodBatch::new`, byte-identical in every outcome.
+    pub fn batch(&self) -> dimmer_glossy::FloodBatch<'_> {
+        dimmer_glossy::FloodBatch::from_parts(
+            self.compiled.clone(),
+            &self.interference,
+            self.bank.as_ref().map(|b| b.box_clone()),
+        )
+    }
+}
+
+/// Builds the four city-scale preset worlds of the `city` grid (fixed
+/// world seeds — the world *is* the cell).
+pub fn city_worlds() -> Vec<CityWorld> {
+    use dimmer_sim::topogen;
+    vec![
+        CityWorld::build("city_6x6x32", || topogen::city_blocks(6, 6, 32, 1)),
+        CityWorld::build("campus_12x48", || topogen::campus(12, 48, 1)),
+        CityWorld::build("warehouse_8x40", || topogen::warehouse_floor(8, 40, 1)),
+        CityWorld::build("grid_50x50", || topogen::sparse_grid(50, 50, 8.0, 1)),
+    ]
+}
+
+/// The city grid over prebuilt [`CityWorld`]s: trials clone the compiled
+/// world and bank instead of rebuilding them, which is what lets the
+/// `dimmerd` daemon serve city sweeps from its warm cache. Reports are
+/// byte-identical to [`city_scale_grid`] (pinned by the scheduler
+/// extraction goldens).
+pub fn city_scale_grid_from_worlds(floods: usize, worlds: Vec<Arc<CityWorld>>) -> ScenarioGrid {
+    use dimmer_glossy::{FloodJob, GlossyConfig};
+    use dimmer_sim::{SimDuration, SimTime};
 
     let mut grid = ScenarioGrid::new("city_scale");
-    type WorldBuilder = fn() -> dimmer_sim::CompiledTopology;
-    let worlds: [(&str, WorldBuilder); 4] = [
-        ("city_6x6x32", || topogen::city_blocks(6, 6, 32, 1)),
-        ("campus_12x48", || topogen::campus(12, 48, 1)),
-        ("warehouse_8x40", || topogen::warehouse_floor(8, 40, 1)),
-        ("grid_50x50", || topogen::sparse_grid(50, 50, 8.0, 1)),
-    ];
-    for (label, build) in worlds {
+    for world in worlds {
+        let label = world.label;
+        let nodes = world.compiled.num_nodes();
         grid.push_cell(
             label,
             vec![
                 ("world".into(), label.into()),
-                ("nodes".into(), build().num_nodes().to_string()),
+                ("nodes".into(), nodes.to_string()),
             ],
             move |seed| {
-                let world = build();
-                let n = world.num_nodes();
-                // Centroid-parked jammer: deterministic, position-derived.
-                let centroid =
-                    world
-                        .positions()
-                        .iter()
-                        .fold(dimmer_sim::Position::new(0.0, 0.0), |acc, p| {
-                            dimmer_sim::Position::new(
-                                acc.x + p.x / n as f64,
-                                acc.y + p.y / n as f64,
-                            )
-                        });
-                let mut interference = CompositeInterference::new();
-                interference.push(Box::new(PeriodicJammer::with_duty_cycle(centroid, 0.15)));
-                let mut batch = FloodBatch::new(world, &interference);
+                let n = world.compiled.num_nodes();
+                let mut batch = world.batch();
                 // City-scale worlds span dozens of hops: give the flood a
                 // 200 ms slot budget instead of the testbed's 20 ms.
                 let cfg = GlossyConfig {

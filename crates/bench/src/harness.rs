@@ -16,7 +16,7 @@
 //! # Determinism
 //!
 //! Each trial's seed is derived statelessly from
-//! `(base seed, cell index, trial index)` via [`SimRng::derive_seed`], and
+//! `(base seed, cell index, trial index)` via [`SimRng::derive_seed`](dimmer_sim::SimRng::derive_seed), and
 //! results are written into pre-allocated slots keyed by job index, so the
 //! aggregated report is **bit-identical regardless of the number of worker
 //! threads** or how the OS schedules them. `--threads` only changes
@@ -43,12 +43,8 @@
 //! assert_eq!(report.to_json(), serial.to_json());
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-use dimmer_sim::SimRng;
-
-use crate::report::{Aggregate, CellReport, GridReport};
+use crate::report::GridReport;
+use crate::scheduler;
 
 /// The named metric samples produced by one trial.
 ///
@@ -159,11 +155,16 @@ impl ScenarioGrid {
     /// Runs `trials` trials of every cell across `threads` workers and
     /// aggregates the metrics.
     ///
-    /// Jobs are distributed dynamically (an atomic cursor over the flat
-    /// `cells × trials` job list), so long and short cells share the
-    /// workers efficiently; each result lands in its pre-assigned slot,
-    /// keeping aggregation order — and therefore the report — independent
-    /// of scheduling.
+    /// This is a thin wrapper over the reusable
+    /// [`scheduler`] pipeline — [`plan_trials`]
+    /// (stateless seeding), [`run_jobs`] (order-independent worker pool)
+    /// and [`assemble_report`] (deterministic aggregation) — shared with
+    /// the `dimmerd` daemon, so reports stay byte-identical for any
+    /// `threads` no matter who runs the grid.
+    ///
+    /// [`plan_trials`]: crate::scheduler::plan_trials
+    /// [`run_jobs`]: crate::scheduler::run_jobs
+    /// [`assemble_report`]: crate::scheduler::assemble_report
     ///
     /// # Panics
     ///
@@ -171,103 +172,11 @@ impl ScenarioGrid {
     /// trials of one cell disagree on their metric names.
     pub fn run(&self, opts: &RunOptions) -> GridReport {
         assert!(opts.trials > 0, "need at least one trial per cell");
-        let trials = opts.trials;
-        let jobs: Vec<(usize, usize, u64)> = (0..self.cells.len())
-            .flat_map(|cell| {
-                (0..trials).map(move |trial| {
-                    let seed = SimRng::derive_seed(opts.seed, &[cell as u64, trial as u64]);
-                    (cell, trial, seed)
-                })
-            })
-            .collect();
-
-        let mut slots: Vec<Option<TrialMetrics>> = Vec::new();
-        slots.resize_with(jobs.len(), || None);
-        let results = Mutex::new(slots);
-        let cursor = AtomicUsize::new(0);
-        let workers = opts.threads.max(1).min(jobs.len().max(1));
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(cell, _trial, seed)) = jobs.get(i) else {
-                        break;
-                    };
-                    let metrics = (self.cells[cell].run)(seed);
-                    // lint: allow(P001) -- poisoned only if a trial panicked; propagating is correct
-                    results.lock().expect("result store poisoned")[i] = Some(metrics);
-                });
-            }
+        let plan = scheduler::plan_trials(self.cells.len(), opts.trials, opts.seed);
+        let results = scheduler::run_jobs(plan.len(), opts.threads, |i| {
+            (self.cells[plan[i].cell].run)(plan[i].seed)
         });
-
-        // lint: allow(P001) -- poisoned only if a trial panicked; propagating is correct
-        let results = results.into_inner().expect("result store poisoned");
-        let cells = self
-            .cells
-            .iter()
-            .enumerate()
-            .map(|(ci, cell)| {
-                let per_trial: Vec<&TrialMetrics> = (0..trials)
-                    .map(|t| {
-                        results[ci * trials + t]
-                            .as_ref()
-                            // lint: allow(P001) -- the scope joins every worker, so all slots are filled
-                            .expect("every job slot is filled after the scope joins")
-                    })
-                    .collect();
-                aggregate_cell(cell, &per_trial)
-            })
-            .collect();
-
-        GridReport {
-            grid: self.name.clone(),
-            seed: opts.seed,
-            trials,
-            cells,
-        }
-    }
-}
-
-/// Folds the per-trial metric samples of one cell into a [`CellReport`].
-fn aggregate_cell(cell: &GridCell, per_trial: &[&TrialMetrics]) -> CellReport {
-    for t in per_trial {
-        assert_eq!(
-            t.entries().len(),
-            per_trial[0].entries().len(),
-            "cell '{}': trials must emit identical metric sets",
-            cell.label
-        );
-    }
-    let names: Vec<&str> = per_trial[0]
-        .entries()
-        .iter()
-        .map(|(n, _)| n.as_str())
-        .collect();
-    let metrics = names
-        .iter()
-        .enumerate()
-        .map(|(mi, name)| {
-            let samples: Vec<f64> = per_trial
-                .iter()
-                .map(|t| {
-                    let (n, v) = &t.entries()[mi];
-                    assert_eq!(
-                        n, name,
-                        "cell '{}': trials must emit identical metric names",
-                        cell.label
-                    );
-                    *v
-                })
-                .collect();
-            (name.to_string(), Aggregate::from_samples(&samples))
-        })
-        .collect();
-    CellReport {
-        label: cell.label.clone(),
-        params: cell.params.clone(),
-        trials: per_trial.len(),
-        metrics,
+        scheduler::assemble_report(&self.name, opts, &self.cells, &results)
     }
 }
 
@@ -331,57 +240,81 @@ impl HarnessCli {
     }
 
     /// [`parse`](Self::parse) over an explicit argument list (testable
-    /// form; `args` excludes the binary name).
+    /// form; `args` excludes the binary name). Exits the process with
+    /// status 2 on malformed input, like [`parse`](Self::parse).
     pub fn parse_from(args: Vec<String>, default_seed: u64) -> HarnessCli {
+        Self::parse_from_checked(args, default_seed).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// [`parse_from`](Self::parse_from) that reports malformed input as an
+    /// error instead of exiting — the form non-CLI callers (the `dimmerd`
+    /// daemon, tests) use so malformed requests fail loudly without
+    /// killing the host process.
+    ///
+    /// Rejects, among others, **duplicate occurrences of the same flag**:
+    /// `--seed 1 --seed 2` used to silently resolve to the first
+    /// occurrence, which hid client mistakes; now every repeated `--flag`
+    /// (shared or binary-specific) is an error.
+    pub fn parse_from_checked(args: Vec<String>, default_seed: u64) -> Result<HarnessCli, String> {
+        for (i, a) in args.iter().enumerate() {
+            if a.starts_with("--") && args[..i].contains(a) {
+                return Err(format!("{a} passed more than once"));
+            }
+        }
         let value = |flag: &str| Self::lookup(&args, flag);
         for flag in ["--trials", "--threads", "--seed", "--json", "--protocols"] {
             if args.iter().any(|a| a == flag) && value(flag).is_none() {
-                eprintln!("error: {flag} expects a value");
-                std::process::exit(2);
+                return Err(format!("{flag} expects a value"));
             }
         }
-        let parse_num = |flag: &str| -> Option<u64> {
-            value(flag).map(|v| {
-                v.parse().unwrap_or_else(|_| {
-                    eprintln!("error: {flag} expects a non-negative integer, got '{v}'");
-                    std::process::exit(2);
+        let parse_num = |flag: &str| -> Result<Option<u64>, String> {
+            value(flag)
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("{flag} expects a non-negative integer, got '{v}'"))
                 })
-            })
+                .transpose()
         };
-        let trials = parse_num("--trials").map(|t| {
-            if t == 0 {
-                eprintln!("error: --trials must be at least 1");
-                std::process::exit(2);
-            }
-            t as usize
-        });
-        let threads = parse_num("--threads")
+        let trials = parse_num("--trials")?
+            .map(|t| {
+                if t == 0 {
+                    return Err("--trials must be at least 1".to_string());
+                }
+                Ok(t as usize)
+            })
+            .transpose()?;
+        let threads = parse_num("--threads")?
             .map(|t| (t as usize).max(1))
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
-        HarnessCli {
-            trials,
-            threads,
-            seed: parse_num("--seed").unwrap_or(default_seed),
-            json: value("--json").map(std::path::PathBuf::from),
-            quick: args.iter().any(|a| a == "--quick"),
-            protocols: value("--protocols").map(|v| {
+        let protocols = value("--protocols")
+            .map(|v| {
                 let list: Vec<String> = v
                     .split(',')
                     .map(|p| p.trim().to_string())
                     .filter(|p| !p.is_empty())
                     .collect();
                 if list.is_empty() {
-                    eprintln!("error: --protocols expects a comma-separated list of names");
-                    std::process::exit(2);
+                    return Err("--protocols expects a comma-separated list of names".to_string());
                 }
-                list
-            }),
+                Ok(list)
+            })
+            .transpose()?;
+        Ok(HarnessCli {
+            trials,
+            threads,
+            seed: parse_num("--seed")?.unwrap_or(default_seed),
+            json: value("--json").map(std::path::PathBuf::from),
+            quick: args.iter().any(|a| a == "--quick"),
+            protocols,
             args,
-        }
+        })
     }
 
     /// The value following a binary-specific `--flag`, if present (e.g.
@@ -469,6 +402,7 @@ impl HarnessCli {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dimmer_sim::SimRng;
 
     fn demo_grid() -> ScenarioGrid {
         let mut grid = ScenarioGrid::new("demo");
@@ -595,6 +529,30 @@ mod tests {
         let c = cli(&["--scenario", "--quick"]);
         assert_eq!(c.value("--scenario"), None);
         assert!(c.has("--quick"));
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let checked = |args: &[&str]| {
+            HarnessCli::parse_from_checked(args.iter().map(|a| a.to_string()).collect(), 77)
+        };
+        // Shared value flag repeated: used to silently resolve to the
+        // first occurrence.
+        let err = checked(&["--seed", "1", "--seed", "2"]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("more than once"), "{err}");
+        // Binary-specific value flag repeated.
+        assert!(checked(&["--part", "nodes", "--part", "history"]).is_err());
+        // Repeated bare flags are duplicates too.
+        assert!(checked(&["--quick", "--quick"]).is_err());
+        // Distinct flags — including a value that is not a flag — are fine.
+        let ok = checked(&["--seed", "1", "--trials", "2", "--part", "nodes"]).unwrap();
+        assert_eq!(ok.seed, 1);
+        assert_eq!(ok.trials, Some(2));
+        // Malformed numerics surface as errors, not exits.
+        assert!(checked(&["--trials", "zero"]).is_err());
+        assert!(checked(&["--trials", "0"]).is_err());
+        assert!(checked(&["--json"]).is_err());
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //! * [`experiments`] — the testable per-figure experiment cores and their
 //!   [`ScenarioGrid`] builders, all running protocols through the generic
 //!   `RoundEngine` via the protocol registry,
+//! * [`scheduler`] — the reusable trial scheduler (worker pool, stateless
+//!   per-trial seeding, deterministic report assembly) shared by the
+//!   harness and the `dimmerd` daemon,
 //! * [`harness`] — the parallel multi-trial engine,
 //! * [`report`] — statistics aggregation, table printing and JSON,
 //!
@@ -45,6 +48,7 @@ pub mod experiments;
 pub mod harness;
 pub mod report;
 pub mod scenarios;
+pub mod scheduler;
 pub mod summary;
 
 pub use harness::{HarnessCli, RunOptions, ScenarioGrid, TrialMetrics};

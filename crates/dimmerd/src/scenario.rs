@@ -1,0 +1,457 @@
+//! Scenario specifications: the daemon's canonical description of one
+//! experiment grid, its hash, and the mapping onto `dimmer-bench` grid
+//! builders.
+//!
+//! A [`ScenarioSpec`] mirrors what the `exp_*` binaries accept on the
+//! command line — grid name, `--quick`, `--trials`, `--seed`,
+//! `--protocols` — with the binaries' own defaults, so a daemon-served
+//! report is the same report the matching binary writes through `--json`.
+//! Two specs that resolve to the same configuration (say, protocols left
+//! to default versus spelled out explicitly) canonicalize to the same
+//! string and therefore the same [`ScenarioSpec::hash`]; the memo cache is
+//! keyed by `(hash, seed)`.
+
+use dimmer_bench::experiments::{
+    city_scale_grid_from_worlds, dynamics_grid, fig5_grid, fig5_seed_sweep_grid, fig6_grid,
+    fig7_grid, table1_grid, topology_size_grid, DCUBE_PROTOCOLS, DYNAMICS_PROTOCOLS,
+    TESTBED_PROTOCOLS,
+};
+use dimmer_bench::harness::ScenarioGrid;
+use dimmer_bench::scenarios::{dimmer_policy, DYNAMIC_SCENARIOS};
+use dimmer_core::DimmerConfig;
+
+use crate::cache::WorldCache;
+use crate::json::Json;
+
+/// The grid names the daemon serves, in documentation order. Dynamic-world
+/// scenarios are requested as `dynamics:<preset>` with presets from
+/// [`DYNAMIC_SCENARIOS`].
+pub const GRIDS: &[&str] = &[
+    "table1",
+    "fig5",
+    "fig5-seeds",
+    "fig6",
+    "fig7",
+    "topology-size",
+    "dynamics:<preset>",
+    "city",
+];
+
+/// The Fig. 5 jamming duty-cycle sweep, as in `exp_fig5`.
+const FIG5_LEVELS: [f64; 8] = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35];
+
+/// One submitted scenario: which grid, at which scale, with which
+/// protocol selection and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Grid name (see [`GRIDS`]).
+    pub grid: String,
+    /// Quick mode: the same reduced round counts as the binaries'
+    /// `--quick`.
+    pub quick: bool,
+    /// Trials per cell; `None` uses the grid's binary default.
+    pub trials: Option<usize>,
+    /// Base seed; `None` uses the grid's binary default.
+    pub seed: Option<u64>,
+    /// Protocol selection; `None` uses the grid's default set. Must be
+    /// absent for grids that do not compare protocols.
+    pub protocols: Option<Vec<String>>,
+}
+
+/// How one grid resolves defaults: its supported/default protocol sets
+/// (or `None` for grids without a protocol axis), default trials and
+/// default seed — all copied from the corresponding binary.
+struct GridInfo {
+    supported: Option<&'static [&'static str]>,
+    default_protocols: Option<&'static [&'static str]>,
+    default_trials: usize,
+    default_seed: u64,
+}
+
+const TOPOLOGY_SIZE_SUPPORTED: [&str; 3] = ["static", "dimmer-rule", "pid"];
+const TOPOLOGY_SIZE_DEFAULT: [&str; 2] = ["static", "dimmer-rule"];
+
+impl ScenarioSpec {
+    /// Parses a spec from the request's `"spec"` object. Unknown fields
+    /// are rejected so that typos cannot silently change what runs.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let Json::Obj(fields) = v else {
+            return Err("spec must be an object".to_string());
+        };
+        let mut spec = ScenarioSpec {
+            grid: String::new(),
+            quick: false,
+            trials: None,
+            seed: None,
+            protocols: None,
+        };
+        for (key, value) in fields {
+            match key.as_str() {
+                "grid" => {
+                    spec.grid = value
+                        .as_str()
+                        .ok_or_else(|| "spec.grid must be a string".to_string())?
+                        .to_string();
+                }
+                "quick" => {
+                    spec.quick = value
+                        .as_bool()
+                        .ok_or_else(|| "spec.quick must be a boolean".to_string())?;
+                }
+                "trials" => {
+                    let n = value
+                        .as_u64()
+                        .ok_or_else(|| "spec.trials must be a non-negative integer".to_string())?;
+                    if n == 0 {
+                        return Err("spec.trials must be at least 1".to_string());
+                    }
+                    spec.trials = Some(n as usize);
+                }
+                "seed" => {
+                    spec.seed =
+                        Some(value.as_u64().ok_or_else(|| {
+                            "spec.seed must be a non-negative integer".to_string()
+                        })?);
+                }
+                "protocols" => {
+                    let items = value
+                        .as_arr()
+                        .ok_or_else(|| "spec.protocols must be an array of strings".to_string())?;
+                    let mut protocols = Vec::with_capacity(items.len());
+                    for item in items {
+                        protocols.push(
+                            item.as_str()
+                                .ok_or_else(|| {
+                                    "spec.protocols must be an array of strings".to_string()
+                                })?
+                                .to_string(),
+                        );
+                    }
+                    spec.protocols = Some(protocols);
+                }
+                other => return Err(format!("unknown spec field '{other}'")),
+            }
+        }
+        if spec.grid.is_empty() {
+            return Err("spec needs a \"grid\" field".to_string());
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn info(&self) -> Result<GridInfo, String> {
+        let info = match self.grid.as_str() {
+            "table1" => GridInfo {
+                supported: None,
+                default_protocols: None,
+                default_trials: 1,
+                default_seed: 1,
+            },
+            "fig5" => GridInfo {
+                supported: Some(&TESTBED_PROTOCOLS),
+                default_protocols: Some(&TESTBED_PROTOCOLS),
+                default_trials: if self.quick { 1 } else { 3 },
+                default_seed: 100,
+            },
+            "fig5-seeds" => GridInfo {
+                supported: Some(&TESTBED_PROTOCOLS),
+                default_protocols: Some(&TESTBED_PROTOCOLS),
+                default_trials: 16,
+                default_seed: 500,
+            },
+            "fig6" => GridInfo {
+                supported: None,
+                default_protocols: None,
+                default_trials: 1,
+                default_seed: 3,
+            },
+            "fig7" => GridInfo {
+                supported: Some(&DCUBE_PROTOCOLS),
+                default_protocols: Some(&DCUBE_PROTOCOLS),
+                default_trials: if self.quick { 1 } else { 3 },
+                default_seed: 300,
+            },
+            "topology-size" => GridInfo {
+                supported: Some(&TOPOLOGY_SIZE_SUPPORTED),
+                default_protocols: Some(&TOPOLOGY_SIZE_DEFAULT),
+                default_trials: 8,
+                default_seed: 500,
+            },
+            "city" => GridInfo {
+                supported: None,
+                default_protocols: None,
+                default_trials: 4,
+                default_seed: 500,
+            },
+            other => match other.strip_prefix("dynamics:") {
+                Some(preset) if DYNAMIC_SCENARIOS.contains(&preset) => GridInfo {
+                    supported: Some(&DYNAMICS_PROTOCOLS),
+                    default_protocols: Some(&DYNAMICS_PROTOCOLS),
+                    default_trials: 1,
+                    default_seed: 11,
+                },
+                Some(preset) => {
+                    return Err(format!(
+                        "unknown dynamics preset '{preset}' (catalogue: {})",
+                        DYNAMIC_SCENARIOS.join(", ")
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "unknown grid '{other}' (grids: {})",
+                        GRIDS.join(", ")
+                    ))
+                }
+            },
+        };
+        Ok(info)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let info = self.info()?;
+        match (&self.protocols, info.supported) {
+            (Some(_), None) => Err(format!(
+                "grid '{}' has no protocol axis; omit spec.protocols",
+                self.grid
+            )),
+            (Some(requested), Some(supported)) => {
+                if requested.is_empty() {
+                    return Err("spec.protocols must not be empty".to_string());
+                }
+                for name in requested {
+                    if !supported.contains(&name.as_str()) {
+                        return Err(format!(
+                            "protocol '{name}' is not supported by grid '{}' (supported: {})",
+                            self.grid,
+                            supported.join(", ")
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            (None, _) => Ok(()),
+        }
+    }
+
+    /// The resolved trials-per-cell count.
+    pub fn trials(&self) -> Result<usize, String> {
+        Ok(self.trials.unwrap_or(self.info()?.default_trials))
+    }
+
+    /// The resolved base seed (the second half of the memo key).
+    pub fn resolved_seed(&self) -> Result<u64, String> {
+        Ok(self.seed.unwrap_or(self.info()?.default_seed))
+    }
+
+    /// The resolved protocol list, or `None` for grids without a protocol
+    /// axis.
+    fn resolved_protocols(&self) -> Result<Option<Vec<String>>, String> {
+        let info = self.info()?;
+        Ok(match (&self.protocols, info.default_protocols) {
+            (Some(p), _) => Some(p.clone()),
+            (None, Some(d)) => Some(d.iter().map(|s| s.to_string()).collect()),
+            (None, None) => None,
+        })
+    }
+
+    /// The canonical form: every default resolved, deterministic field
+    /// order. Equivalent specs produce identical strings — this is what
+    /// [`hash`](Self::hash) digests and what makes memoization safe.
+    pub fn canonical(&self) -> Result<String, String> {
+        let protocols = match self.resolved_protocols()? {
+            Some(p) => p.join(","),
+            None => "-".to_string(),
+        };
+        Ok(format!(
+            "grid={};quick={};trials={};protocols={}",
+            self.grid,
+            self.quick,
+            self.trials()?,
+            protocols
+        ))
+    }
+
+    /// FNV-1a digest of the canonical form — the scenario half of the
+    /// `(scenario_hash, seed)` memo key.
+    pub fn hash(&self) -> Result<u64, String> {
+        let canonical = self.canonical()?;
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Ok(h)
+    }
+
+    /// Builds the scenario's grid, resolving city worlds through the warm
+    /// cache. Round counts follow the binaries' `--quick` switch exactly.
+    pub fn build(&self, worlds: &mut WorldCache) -> Result<ScenarioGrid, String> {
+        let protocols = self.resolved_protocols()?;
+        let protocols = protocols.as_deref().unwrap_or(&[]);
+        let quick = self.quick;
+        let grid = match self.grid.as_str() {
+            "table1" => table1_grid(&DimmerConfig::default()),
+            "fig5" => {
+                let rounds = if quick { 60 } else { 200 };
+                fig5_grid(dimmer_policy(quick), rounds, &FIG5_LEVELS, protocols)
+            }
+            "fig5-seeds" => {
+                let rounds = if quick { 40 } else { 120 };
+                fig5_seed_sweep_grid(dimmer_policy(quick), rounds, protocols)
+            }
+            "fig6" => {
+                let rounds = if quick { 900 } else { 4500 };
+                fig6_grid(rounds, None)
+            }
+            "fig7" => {
+                let rounds = if quick { 200 } else { 600 };
+                fig7_grid(dimmer_policy(quick), rounds, protocols)
+            }
+            "topology-size" => {
+                let rounds = if quick { 40 } else { 120 };
+                topology_size_grid(rounds, &[3, 4, 5, 6], protocols)
+            }
+            "city" => {
+                let floods = if quick { 8 } else { 24 };
+                city_scale_grid_from_worlds(floods, worlds.city())
+            }
+            other => match other.strip_prefix("dynamics:") {
+                Some(preset) => {
+                    let rounds = if quick { 60 } else { 200 };
+                    dynamics_grid(dimmer_policy(quick), rounds, preset, protocols, None)
+                }
+                None => return Err(format!("unknown grid '{other}'")),
+            },
+        };
+        Ok(grid)
+    }
+
+    /// Convenience: a quick spec for `grid` with every other field
+    /// defaulted.
+    pub fn quick(grid: &str) -> Self {
+        ScenarioSpec {
+            grid: grid.to_string(),
+            quick: true,
+            trials: None,
+            seed: None,
+            protocols: None,
+        }
+    }
+}
+
+/// The worlds resolved for one [`CityWorld`](dimmer_bench::experiments::CityWorld)
+/// request, with their compiled digests — exposed for observability tests.
+pub fn city_world_digests(worlds: &mut WorldCache) -> Vec<(String, u64)> {
+    worlds
+        .city()
+        .iter()
+        .map(|w| (w.label.to_string(), w.compiled().digest()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn spec(line: &str) -> Result<ScenarioSpec, String> {
+        ScenarioSpec::from_json(&json::parse(line).unwrap())
+    }
+
+    #[test]
+    fn equivalent_constructions_hash_identically() {
+        let defaulted = spec(r#"{"grid":"fig5","quick":true}"#).unwrap();
+        let explicit = spec(
+            r#"{"trials":1,"protocols":["static","dimmer-dqn","pid"],"quick":true,"grid":"fig5"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            defaulted.canonical().unwrap(),
+            explicit.canonical().unwrap()
+        );
+        assert_eq!(defaulted.hash().unwrap(), explicit.hash().unwrap());
+        // Seeds do not enter the scenario hash (they key the memo jointly).
+        let seeded = spec(r#"{"grid":"fig5","quick":true,"seed":77}"#).unwrap();
+        assert_eq!(seeded.hash().unwrap(), defaulted.hash().unwrap());
+    }
+
+    #[test]
+    fn differing_configurations_hash_differently() {
+        let base = spec(r#"{"grid":"fig5","quick":true}"#).unwrap();
+        for other in [
+            r#"{"grid":"fig5"}"#,
+            r#"{"grid":"fig5","quick":true,"trials":2}"#,
+            r#"{"grid":"fig5","quick":true,"protocols":["static"]}"#,
+            r#"{"grid":"fig7","quick":true}"#,
+            r#"{"grid":"dynamics:churn-storm","quick":true}"#,
+        ] {
+            assert_ne!(
+                spec(other).unwrap().hash().unwrap(),
+                base.hash().unwrap(),
+                "{other} must hash differently"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_defaults_are_mirrored() {
+        let fig5 = spec(r#"{"grid":"fig5"}"#).unwrap();
+        assert_eq!(fig5.trials().unwrap(), 3);
+        assert_eq!(fig5.resolved_seed().unwrap(), 100);
+        let fig5_quick = spec(r#"{"grid":"fig5","quick":true}"#).unwrap();
+        assert_eq!(fig5_quick.trials().unwrap(), 1);
+        let sweep = spec(r#"{"grid":"fig5-seeds"}"#).unwrap();
+        assert_eq!(sweep.trials().unwrap(), 16);
+        assert_eq!(sweep.resolved_seed().unwrap(), 500);
+        let city = spec(r#"{"grid":"city"}"#).unwrap();
+        assert_eq!(city.trials().unwrap(), 4);
+        let dynamics = spec(r#"{"grid":"dynamics:churn-storm"}"#).unwrap();
+        assert_eq!(dynamics.resolved_seed().unwrap(), 11);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(spec(r#"{"grid":"fig9"}"#)
+            .unwrap_err()
+            .contains("unknown grid"));
+        assert!(spec(r#"{"grid":"dynamics:warp"}"#)
+            .unwrap_err()
+            .contains("unknown dynamics preset"));
+        assert!(spec(r#"{"grid":"fig5","protocols":["crystal"]}"#)
+            .unwrap_err()
+            .contains("not supported"));
+        assert!(spec(r#"{"grid":"city","protocols":["static"]}"#)
+            .unwrap_err()
+            .contains("no protocol axis"));
+        assert!(spec(r#"{"grid":"fig5","trials":0}"#)
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(spec(r#"{"grid":"fig5","rounds":9}"#)
+            .unwrap_err()
+            .contains("unknown spec field"));
+        assert!(spec(r#"{"quick":true}"#).unwrap_err().contains("grid"));
+    }
+
+    #[test]
+    fn every_supported_grid_builds() {
+        let mut worlds = WorldCache::new();
+        for grid in [
+            "table1",
+            "fig5",
+            "fig5-seeds",
+            "fig6",
+            "fig7",
+            "topology-size",
+            "dynamics:churn-storm",
+            "city",
+        ] {
+            let s = ScenarioSpec::quick(grid);
+            assert!(
+                !s.build(&mut worlds).unwrap().is_empty(),
+                "{grid} must build a non-empty grid"
+            );
+        }
+        let (hits, misses) = worlds.counters();
+        assert_eq!((hits, misses), (0, 1), "city worlds built exactly once");
+    }
+}

@@ -83,6 +83,31 @@ impl<'a> FloodBatch<'a> {
         }
     }
 
+    /// Creates a batch driver over an owned compiled world **reusing** an
+    /// already-compiled interference bank instead of calling
+    /// [`InterferenceModel::compile_for`].
+    ///
+    /// This is the warm-cache entry point: the `dimmerd` daemon compiles a
+    /// scenario's bank once, keeps the pristine evaluator as a prototype
+    /// and hands each trial a [`SlotInterference::box_clone`] of it. The
+    /// caller is responsible for the bank matching
+    /// `interference.compile_for(compiled.positions())` — a mismatched bank
+    /// silently produces wrong busy fractions.
+    pub fn from_parts(
+        compiled: CompiledTopology,
+        interference: &'a dyn InterferenceModel,
+        slot_interference: Option<Box<dyn SlotInterference>>,
+    ) -> Self {
+        let workspace = FloodWorkspace::for_nodes(compiled.num_nodes());
+        FloodBatch {
+            compiled,
+            interference,
+            slot_interference,
+            workspace,
+            alive: None,
+        }
+    }
+
     /// The shared compiled world the batch floods over.
     pub fn compiled(&self) -> &CompiledTopology {
         &self.compiled
@@ -203,6 +228,24 @@ mod tests {
             );
             assert_eq!(&solo, batch_out, "job {job:?} diverged from solo run");
         }
+    }
+
+    #[test]
+    fn from_parts_with_a_cloned_bank_matches_a_cold_compile() {
+        let jam = PeriodicJammer::with_duty_cycle(Position::new(20.0, 20.0), 0.3);
+        let world = topogen::sparse_grid(8, 8, 8.0, 3);
+        let cfg = GlossyConfig::default();
+        let js = jobs(64, 13);
+        // A pristine prototype bank, as the daemon's warm cache keeps it.
+        let prototype = jam.compile_for(world.positions());
+        let warm = FloodBatch::from_parts(
+            world.clone(),
+            &jam,
+            prototype.as_ref().map(|b| b.box_clone()),
+        )
+        .run(&cfg, &js);
+        let cold = FloodBatch::new(world, &jam).run(&cfg, &js);
+        assert_eq!(warm, cold, "warm bank must reproduce the cold compile");
     }
 
     #[test]

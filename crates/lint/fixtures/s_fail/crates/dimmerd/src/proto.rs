@@ -1,0 +1,3 @@
+// Fixture daemon protocol: `drain` is documented nowhere, so S004 fires
+// once per document.
+pub const COMMANDS: &[&str] = &["submit", "drain"];

@@ -1,0 +1,2 @@
+// Fixture daemon protocol: both commands are documented.
+pub const COMMANDS: &[&str] = &["submit", "status"];

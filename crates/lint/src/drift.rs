@@ -16,6 +16,11 @@
 //!   match its declared schema (`suite` matching the filename, a non-empty
 //!   `benchmarks` array of `{name, mean_ns, iters}`, and the suite's
 //!   headline speedup field, positive).
+//! * **S004** — every wire-protocol command in the `COMMANDS` list of
+//!   `crates/dimmerd/src/proto.rs` must appear in both `README.md` and
+//!   `ARCHITECTURE.md` (the daemon protocol is an external contract; an
+//!   undocumented command is unusable, a documented-but-removed one is a
+//!   broken promise).
 
 use crate::diag::Finding;
 use crate::json::{self, Json};
@@ -28,6 +33,7 @@ pub fn lint_drift(root: &Path) -> Vec<Finding> {
     check_readme_repro(root, &mut findings);
     check_registry_docs(root, &mut findings);
     check_bench_schemas(root, &mut findings);
+    check_daemon_protocol_docs(root, &mut findings);
     findings
 }
 
@@ -114,6 +120,63 @@ pub fn registered_names(src: &str) -> Vec<(String, u32)> {
             let name = quoted.trim_matches('"').to_string();
             out.push((name, code[i].line));
         }
+    }
+    out
+}
+
+/// S004: the daemon's wire-protocol commands appear in README.md and
+/// ARCHITECTURE.md.
+fn check_daemon_protocol_docs(root: &Path, findings: &mut Vec<Finding>) {
+    let proto_path = "crates/dimmerd/src/proto.rs";
+    let Ok(src) = std::fs::read_to_string(root.join(proto_path)) else {
+        return; // no daemon crate (fixture trees may omit it)
+    };
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let arch = std::fs::read_to_string(root.join("ARCHITECTURE.md")).unwrap_or_default();
+
+    for (name, line) in protocol_commands(&src) {
+        for (doc, text) in [("README.md", &readme), ("ARCHITECTURE.md", &arch)] {
+            if !contains_word(text, &name) {
+                findings.push(Finding {
+                    path: proto_path.to_string(),
+                    line,
+                    col: 1,
+                    rule: "S004",
+                    message: format!("daemon protocol command `{name}` is not documented in {doc}"),
+                });
+            }
+        }
+    }
+}
+
+/// Extracts `(command, line)` for every string literal in the `COMMANDS`
+/// array of the daemon's protocol source (non-test code only).
+pub fn protocol_commands(src: &str) -> Vec<(String, u32)> {
+    let tokens = tokenize(src);
+    let code: Vec<_> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let gated = crate::rules::test_gated_lines(src);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // Only the `const COMMANDS` definition counts — later uses of the
+        // ident (error messages, dispatch loops) are not the catalogue.
+        if code[i].is_ident("COMMANDS")
+            && i > 0
+            && code[i - 1].is_ident("const")
+            && !gated.contains(&code[i].line)
+        {
+            // Collect the string literals of the initializer, up to `;`.
+            let mut j = i + 1;
+            while j < code.len() && !code[j].is_punct(";") {
+                if code[j].kind == TokenKind::Str {
+                    let name = code[j].text.trim_matches('"').to_string();
+                    out.push((name, code[j].line));
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
     }
     out
 }
@@ -232,6 +295,24 @@ mod tests {
 "#;
         let names: Vec<String> = registered_names(src).into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["dimmer-dqn", "pid"]);
+    }
+
+    #[test]
+    fn protocol_commands_reads_the_commands_list_only() {
+        let src = r#"
+pub const COMMANDS: &[&str] = &["submit", "status", "result"];
+pub fn parse(line: &str) -> Result<Request, String> {
+    let other = ["not-a-command"];
+    let listed = COMMANDS.join(", ");
+    Err("unknown".to_string())
+}
+#[cfg(test)]
+mod tests {
+    const COMMANDS: &[&str] = &["test-only"];
+}
+"#;
+        let names: Vec<String> = protocol_commands(src).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["submit", "status", "result"]);
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub const RULES: &[Rule] = &[
         summary: "BENCH_*.json reports must match their declared schema",
     },
     Rule {
+        id: "S004",
+        name: "protocol-doc-drift",
+        summary: "dimmerd protocol commands must appear in README.md and ARCHITECTURE.md",
+    },
+    Rule {
         id: "L001",
         name: "malformed-directive",
         summary: "unparseable `// lint:` directive (unknown verb/rule, or allow missing a reason)",

@@ -3,10 +3,11 @@
 //! The scoping table is the policy heart of the tool:
 //!
 //! * **D-rules** run on the simulation/engine/bench crates — the code whose
-//!   byte-for-byte determinism the equivalence suites pin. The RL/neural/
-//!   trace crates are deliberately out of D-scope for now (training is
-//!   allowed to read nothing ambient either, but they never run inside a
-//!   pinned trial).
+//!   byte-for-byte determinism the equivalence suites pin — and on the
+//!   `dimmerd` daemon, whose served reports must be byte-identical to
+//!   offline runs. The RL/neural/trace crates are deliberately out of
+//!   D-scope for now (training is allowed to read nothing ambient either,
+//!   but they never run inside a pinned trial).
 //! * **P-rules** run on every library crate (including `dimmer-lint`
 //!   itself — the tool holds itself to its own hygiene), but not on
 //!   `src/bin/` CLI entry points, which may terminate on bad input.
@@ -23,7 +24,15 @@ use crate::rules::{lint_source, ScopeFlags};
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be deterministic (D-rules).
-pub const D_CRATES: &[&str] = &["sim", "glossy", "core", "lwb", "baselines", "bench"];
+pub const D_CRATES: &[&str] = &[
+    "sim",
+    "glossy",
+    "core",
+    "lwb",
+    "baselines",
+    "bench",
+    "dimmerd",
+];
 
 /// Crates whose non-test library code must not panic (P-rules).
 pub const P_CRATES: &[&str] = &[
@@ -37,6 +46,7 @@ pub const P_CRATES: &[&str] = &[
     "traces",
     "bench",
     "lint",
+    "dimmerd",
 ];
 
 /// The rule families that apply to a workspace-relative `.rs` path, or
@@ -174,6 +184,7 @@ mod tests {
             "crates/lwb/src/round.rs",
             "crates/baselines/src/registry.rs",
             "crates/bench/src/harness.rs",
+            "crates/dimmerd/src/service.rs",
         ] {
             let s = case(p).expect("scanned");
             assert!(s.determinism && s.panic_hygiene, "{p}");
@@ -188,9 +199,11 @@ mod tests {
             let s = case(p).expect("scanned");
             assert!(!s.determinism && s.panic_hygiene, "{p}");
         }
-        // Bench binaries: D without P.
+        // Bench and daemon binaries: D without P.
         let b = case("crates/bench/src/bin/exp_fig5.rs").expect("scanned");
         assert!(b.determinism && !b.panic_hygiene);
+        let d = case("crates/dimmerd/src/bin/dimmer_cli.rs").expect("scanned");
+        assert!(d.determinism && !d.panic_hygiene);
         // Lint's own binary: neither family (H/L still run).
         let l = case("crates/lint/src/bin/x.rs").expect("scanned");
         assert!(!l.determinism && !l.panic_hygiene);

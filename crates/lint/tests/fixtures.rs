@@ -110,4 +110,11 @@ fn s_fail_tree_drifts_in_every_family() {
     assert!(s003
         .iter()
         .any(|f| f.path == "BENCH_mystery.json" && f.message.contains("no declared schema")));
+
+    // S004: `drain` is in the COMMANDS list but absent from both
+    // documents; `submit` is fine.
+    let s004 = rules_for("S004");
+    assert_eq!(s004.len(), 2, "{findings:?}");
+    assert!(s004.iter().all(|f| f.message.contains("`drain`")));
+    assert!(s004.iter().all(|f| f.path.ends_with("proto.rs")));
 }

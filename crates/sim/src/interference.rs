@@ -30,8 +30,10 @@ pub const BURST_DURATION: SimDuration = SimDuration::from_millis(13);
 /// A source of interference observed by receivers.
 ///
 /// Implementations must be deterministic functions of their parameters and of
-/// simulated time so that experiments are reproducible.
-pub trait InterferenceModel: Debug {
+/// simulated time so that experiments are reproducible. Models are
+/// `Send + Sync` (plain parameter data): a cached world can hold its model
+/// and be shared across worker threads.
+pub trait InterferenceModel: Debug + Send + Sync {
     /// Returns the fraction (`0..=1`) of the interval
     /// `[start, start + duration)` during which reception at position `at` on
     /// `channel` is corrupted by this interference source.
@@ -94,7 +96,13 @@ pub trait InterferenceModel: Debug {
 /// `busy_for_slot` filling `out[i]` must equal
 /// `busy_fraction(start, duration_us, channel, positions[i])` bit-for-bit
 /// for the positions the evaluator was compiled for.
-pub trait SlotInterference: Debug {
+///
+/// Evaluators are `Send + Sync` (they are plain data between calls) and
+/// [cloneable](SlotInterference::box_clone), so a compiled bank can live in
+/// a warm cache — the `dimmerd` daemon keeps one pristine prototype per
+/// scenario and stamps out a private copy per trial, avoiding the
+/// `compile_for` cost on every request.
+pub trait SlotInterference: Debug + Send + Sync {
     /// Fills `out[i]` with the busy fraction node `i` observes during
     /// `[start, start + duration_us)` on `channel`.
     ///
@@ -108,6 +116,11 @@ pub trait SlotInterference: Debug {
         channel: Channel,
         out: &mut [f64],
     );
+
+    /// Returns a boxed copy of this evaluator, including any internal
+    /// scratch state. Cloning a freshly compiled evaluator yields a
+    /// pristine prototype safe to hand to another thread.
+    fn box_clone(&self) -> Box<dyn SlotInterference>;
 }
 
 /// The absence of interference.
@@ -140,7 +153,7 @@ impl InterferenceModel for NoInterference {
 }
 
 /// Compiled form of [`NoInterference`]: fills zeros.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CompiledNoInterference {
     nodes: usize,
 }
@@ -148,6 +161,9 @@ struct CompiledNoInterference {
 impl SlotInterference for CompiledNoInterference {
     fn busy_for_slot(&mut self, _: SimTime, _: u64, _: Channel, out: &mut [f64]) {
         out[..self.nodes].fill(0.0);
+    }
+    fn box_clone(&self) -> Box<dyn SlotInterference> {
+        Box::new(self.clone())
     }
 }
 
@@ -361,7 +377,7 @@ impl InterferenceModel for PeriodicJammer {
 
 /// Compiled form of [`PeriodicJammer`]: per-node strengths precomputed, one
 /// burst-overlap evaluation per slot.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CompiledJammer {
     jammer: PeriodicJammer,
     strengths: Vec<f64>,
@@ -392,6 +408,9 @@ impl SlotInterference for CompiledJammer {
             // replaced by its cached (identical) value.
             *o = (overlap * s).clamp(0.0, 1.0);
         }
+    }
+    fn box_clone(&self) -> Box<dyn SlotInterference> {
+        Box::new(self.clone())
     }
 }
 
@@ -495,7 +514,7 @@ impl InterferenceModel for MobileJammer {
 
 /// Compiled form of [`MobileJammer`]: per-node strengths are cached per
 /// waypoint segment and recomputed only when the jammer actually moved.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CompiledMobileJammer {
     jammer: MobileJammer,
     positions: Vec<Position>,
@@ -536,6 +555,9 @@ impl SlotInterference for CompiledMobileJammer {
         for (o, &s) in out[..n].iter_mut().zip(&self.strengths) {
             *o = (overlap * s).clamp(0.0, 1.0);
         }
+    }
+    fn box_clone(&self) -> Box<dyn SlotInterference> {
+        Box::new(self.clone())
     }
 }
 
@@ -668,7 +690,7 @@ impl WifiInterference {
 }
 
 /// Compiled form of [`WifiInterference`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CompiledWifi {
     wifi: WifiInterference,
     nodes: usize,
@@ -686,6 +708,9 @@ impl SlotInterference for CompiledWifi {
             .wifi
             .busy_fraction(start, duration_us, channel, Position::new(0.0, 0.0));
         out[..self.nodes].fill(f);
+    }
+    fn box_clone(&self) -> Box<dyn SlotInterference> {
+        Box::new(self.clone())
     }
 }
 
@@ -790,7 +815,7 @@ impl InterferenceModel for CompositeInterference {
 /// Fused compiled form of a [`CompositeInterference`] whose members are all
 /// [`PeriodicJammer`]s: one burst-overlap evaluation per jammer per slot,
 /// then a single pass per node combining the cached strengths.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CompiledJammerBank {
     jammers: Vec<PeriodicJammer>,
     /// Row-major `jammers × nodes` cached `strength_at` values.
@@ -828,6 +853,9 @@ impl SlotInterference for CompiledJammerBank {
             *o = 1.0 - *o;
         }
     }
+    fn box_clone(&self) -> Box<dyn SlotInterference> {
+        Box::new(self.clone())
+    }
 }
 
 /// Compiled form of [`CompositeInterference`].
@@ -858,6 +886,12 @@ impl SlotInterference for CompiledComposite {
         for o in out[..n].iter_mut() {
             *o = 1.0 - *o;
         }
+    }
+    fn box_clone(&self) -> Box<dyn SlotInterference> {
+        Box::new(CompiledComposite {
+            members: self.members.iter().map(|m| m.box_clone()).collect(),
+            scratch: self.scratch.clone(),
+        })
     }
 }
 
@@ -997,6 +1031,16 @@ impl SlotInterference for CompiledScheduled {
         for o in out[..n].iter_mut() {
             *o = 1.0 - *o;
         }
+    }
+    fn box_clone(&self) -> Box<dyn SlotInterference> {
+        Box::new(CompiledScheduled {
+            windows: self
+                .windows
+                .iter()
+                .map(|(from, until, member)| (*from, *until, member.box_clone()))
+                .collect(),
+            scratch: self.scratch.clone(),
+        })
     }
 }
 

@@ -45,10 +45,28 @@ impl Fnv1a {
         self.fold(v.to_bits());
     }
 
+    /// Folds a byte slice into the digest.
+    pub fn fold_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
     /// The digest value so far.
     pub fn value(self) -> u64 {
         self.0
     }
+}
+
+/// FNV-1a over the raw bytes of a serialized report — the pinning primitive
+/// of the scheduler-extraction goldens: any byte that changes in a
+/// harness JSON report (labels, params, float formatting, ordering)
+/// changes the digest.
+pub fn json_digest(json: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.fold_bytes(json.as_bytes());
+    h.value()
 }
 
 /// FNV-1a over every (pre-world) field of every report, bit-exactly — the
