@@ -14,6 +14,7 @@
 //! | `pid`         | LWB driven by the tuned PI(D) controller              |
 //! | `static`      | Plain LWB at a fixed `N_TX` (default 3)               |
 //! | `crystal`     | The Crystal epoch protocol via the engine's epoch adapter |
+//! | `dimmer-zoo`  | Per-family DQN zoo selected online by an EXP3 meta-controller |
 //!
 //! The registry is the single source of protocol names for the experiment
 //! binaries' `--protocols` flag, and [`ProtocolRegistry::register`] lets
@@ -269,6 +270,11 @@ impl ProtocolRegistry {
             "Crystal's TA-pair epochs via the engine's epoch adapter",
             build_crystal,
         );
+        reg.register(
+            "dimmer-zoo",
+            "Per-family DQN zoo selected online by an EXP3 meta-controller",
+            build_dimmer_zoo,
+        );
         reg
     }
 
@@ -384,6 +390,27 @@ fn build_static<'a>(builder: SimulationBuilder<'a>) -> Box<dyn Simulation + 'a> 
     )
 }
 
+fn build_dimmer_zoo<'a>(builder: SimulationBuilder<'a>) -> Box<dyn Simulation + 'a> {
+    // The zoo brings its own per-family policies; the builder's single
+    // `policy` override (which every harness passes for `dimmer-dqn`) is
+    // deliberately ignored. The meta-controller's arm draws come from an
+    // engine-external RNG derived from the builder seed.
+    let cfg = builder.normalized_config();
+    let controller = dimmer_core::ZooController::standard(cfg.clone());
+    Box::new(
+        RoundEngine::with_controller(
+            builder.topology,
+            builder.interference,
+            builder.lwb_config,
+            cfg,
+            controller,
+            builder.seed,
+        )
+        .with_traffic(builder.traffic)
+        .with_world_script(builder.script),
+    )
+}
+
 fn build_crystal<'a>(builder: SimulationBuilder<'a>) -> Box<dyn Simulation + 'a> {
     let sink = builder
         .traffic
@@ -432,7 +459,14 @@ mod tests {
         let reg = ProtocolRegistry::standard();
         assert_eq!(
             reg.names(),
-            vec!["dimmer-dqn", "dimmer-rule", "pid", "static", "crystal"]
+            vec![
+                "dimmer-dqn",
+                "dimmer-rule",
+                "pid",
+                "static",
+                "crystal",
+                "dimmer-zoo"
+            ]
         );
         assert!(reg.contains("pid"));
         assert!(!reg.contains("lwb"));

@@ -17,7 +17,9 @@
 //! With the default `--trials 1` a per-phase timeline of the first
 //! selected protocol is printed in addition to the aggregate table.
 
-use dimmer_bench::experiments::{dynamics_grid, dynamics_run, CachedRun, DYNAMICS_PROTOCOLS};
+use dimmer_bench::experiments::{
+    dynamics_grid, dynamics_run, protocol_list, CachedRun, DYNAMICS_PROTOCOLS, DYNAMICS_SUPPORTED,
+};
 use dimmer_bench::harness::HarnessCli;
 use dimmer_bench::scenarios::{dimmer_policy, dynamic_scenario, DYNAMIC_SCENARIOS};
 use dimmer_bench::summary::phase_summaries;
@@ -37,7 +39,13 @@ fn main() {
         );
         std::process::exit(2);
     };
-    let protocols = cli.select_protocols(&DYNAMICS_PROTOCOLS);
+    // Default runs stay pinned to DYNAMICS_PROTOCOLS (their grid digest is
+    // golden-tested); `--protocols` may additionally opt into `dimmer-zoo`.
+    let protocols = if cli.protocols.is_none() {
+        protocol_list(&DYNAMICS_PROTOCOLS)
+    } else {
+        cli.select_protocols(&DYNAMICS_SUPPORTED)
+    };
     let opts = cli.run_options(1);
     let policy = dimmer_policy(cli.quick);
 

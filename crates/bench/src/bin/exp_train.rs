@@ -1,0 +1,56 @@
+//! In-sim policy training for the zoo families: the vectorized farm
+//! behind a standard experiment harness.
+//!
+//! ```text
+//! cargo run --release -p dimmer-bench --bin exp_train -- \
+//!     [--family calm|jammed|churn-storm|roaming-jammer] \
+//!     [--envs N] [--quick] [--trials N] [--threads N] [--seed S] [--json PATH]
+//! ```
+//!
+//! The single grid cell trains the selected family's DQN fully in-sim and
+//! reports the training curve (`eval@<transitions>` / `loss@<transitions>`
+//! checkpoints) plus `final_eval`, `episodes` and `transitions`. The
+//! report — including the JSON — is **byte-identical for any `--envs` and
+//! `--threads`**: the farm's rollout width and the scheduler's worker count
+//! are both pure prefetch knobs (pinned by the CI `train-smoke` job).
+
+use dimmer_bench::harness::HarnessCli;
+use dimmer_bench::training::{train_grid, TRAIN_FAMILIES};
+
+fn main() {
+    let cli = HarnessCli::parse(42);
+    let family = cli
+        .value_required("--family")
+        .unwrap_or_else(|| "calm".to_string());
+    if !TRAIN_FAMILIES.contains(&family.as_str()) {
+        eprintln!(
+            "error: unknown --family '{family}' (catalogue: {})",
+            TRAIN_FAMILIES.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let envs = cli
+        .value_required("--envs")
+        .map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("error: --envs expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(4)
+        .max(1);
+    let opts = cli.run_options(1);
+
+    println!(
+        "training '{family}' in-sim — {} mode, {envs} lockstep environments",
+        if cli.quick { "quick" } else { "full" }
+    );
+    println!(
+        "{} trials per cell, {} worker threads, seed {}",
+        opts.trials, opts.threads, opts.seed
+    );
+
+    let report = train_grid(&family, cli.quick, envs).run(&opts);
+    report.print_table();
+    cli.emit_json(&report);
+}

@@ -56,6 +56,13 @@ pub const DCUBE_PROTOCOLS: [&str; 3] = ["static", "dimmer-dqn", "crystal"];
 /// collection-only — in presentation order.
 pub const DYNAMICS_PROTOCOLS: [&str; 4] = ["static", "dimmer-dqn", "dimmer-rule", "pid"];
 
+/// Every protocol `exp_dynamics --protocols` accepts: the pinned default
+/// comparison ([`DYNAMICS_PROTOCOLS`], whose grid digest is golden-tested)
+/// plus the opt-in `dimmer-zoo` meta-controller. Kept separate so adding
+/// opt-in protocols never changes the default run's bytes.
+pub const DYNAMICS_SUPPORTED: [&str; 5] =
+    ["static", "dimmer-dqn", "dimmer-rule", "pid", "dimmer-zoo"];
+
 /// Table I + §IV-B footprint numbers (`exp_table1`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table1Summary {

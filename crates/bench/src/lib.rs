@@ -50,6 +50,7 @@ pub mod report;
 pub mod scenarios;
 pub mod scheduler;
 pub mod summary;
+pub mod training;
 
 pub use harness::{HarnessCli, RunOptions, ScenarioGrid, TrialMetrics};
 pub use report::{Aggregate, CellReport, GridReport};

@@ -58,8 +58,10 @@ pub mod feedback;
 pub mod forwarder;
 pub mod pretrained;
 pub mod reward;
+pub mod sim_env;
 pub mod state;
 pub mod stats;
+pub mod zoo;
 
 pub use action::AdaptivityAction;
 pub use adaptivity::{AdaptivityController, AdaptivityPolicy};
@@ -71,5 +73,7 @@ pub use engine::{
 pub use feedback::FeedbackHeader;
 pub use forwarder::{ForwarderSelection, Role};
 pub use reward::reward;
+pub use sim_env::SimEnvironment;
 pub use state::StateBuilder;
 pub use stats::{GlobalView, NodeStats, StatisticsCollector, DEFAULT_STATS_WINDOW};
+pub use zoo::{ZooController, ZOO_FAMILIES};

@@ -18,6 +18,7 @@ use dimmer_bench::experiments::{
 };
 use dimmer_bench::harness::ScenarioGrid;
 use dimmer_bench::scenarios::{dimmer_policy, DYNAMIC_SCENARIOS};
+use dimmer_bench::training::{train_grid, TRAIN_FAMILIES};
 use dimmer_core::DimmerConfig;
 
 use crate::cache::WorldCache;
@@ -25,7 +26,10 @@ use crate::json::Json;
 
 /// The grid names the daemon serves, in documentation order. Dynamic-world
 /// scenarios are requested as `dynamics:<preset>` with presets from
-/// [`DYNAMIC_SCENARIOS`].
+/// [`DYNAMIC_SCENARIOS`]; in-sim training jobs as `train:<family>` with
+/// families from [`TRAIN_FAMILIES`] (served through the same scheduler and
+/// memo cache as every other grid, so a training curve is just another
+/// deterministic report).
 pub const GRIDS: &[&str] = &[
     "table1",
     "fig5",
@@ -34,6 +38,7 @@ pub const GRIDS: &[&str] = &[
     "fig7",
     "topology-size",
     "dynamics:<preset>",
+    "train:<family>",
     "city",
 ];
 
@@ -183,20 +188,37 @@ impl ScenarioSpec {
                 default_trials: 4,
                 default_seed: 500,
             },
-            other => match other.strip_prefix("dynamics:") {
-                Some(preset) if DYNAMIC_SCENARIOS.contains(&preset) => GridInfo {
+            other => match (
+                other.strip_prefix("dynamics:"),
+                other.strip_prefix("train:"),
+            ) {
+                (Some(preset), _) if DYNAMIC_SCENARIOS.contains(&preset) => GridInfo {
                     supported: Some(&DYNAMICS_PROTOCOLS),
                     default_protocols: Some(&DYNAMICS_PROTOCOLS),
                     default_trials: 1,
                     default_seed: 11,
                 },
-                Some(preset) => {
+                (Some(preset), _) => {
                     return Err(format!(
                         "unknown dynamics preset '{preset}' (catalogue: {})",
                         DYNAMIC_SCENARIOS.join(", ")
                     ))
                 }
-                None => {
+                // Training grids have no protocol axis: the "protocol"
+                // under test is the policy being manufactured.
+                (None, Some(family)) if TRAIN_FAMILIES.contains(&family) => GridInfo {
+                    supported: None,
+                    default_protocols: None,
+                    default_trials: 1,
+                    default_seed: 42,
+                },
+                (None, Some(family)) => {
+                    return Err(format!(
+                        "unknown training family '{family}' (catalogue: {})",
+                        TRAIN_FAMILIES.join(", ")
+                    ))
+                }
+                (None, None) => {
                     return Err(format!(
                         "unknown grid '{other}' (grids: {})",
                         GRIDS.join(", ")
@@ -315,12 +337,18 @@ impl ScenarioSpec {
                 let floods = if quick { 8 } else { 24 };
                 city_scale_grid_from_worlds(floods, worlds.city())
             }
-            other => match other.strip_prefix("dynamics:") {
-                Some(preset) => {
+            other => match (
+                other.strip_prefix("dynamics:"),
+                other.strip_prefix("train:"),
+            ) {
+                (Some(preset), _) => {
                     let rounds = if quick { 60 } else { 200 };
                     dynamics_grid(dimmer_policy(quick), rounds, preset, protocols, None)
                 }
-                None => return Err(format!("unknown grid '{other}'")),
+                // `envs = 4` mirrors `exp_train`'s default; the farm's
+                // env-count invariance makes the value cosmetic anyway.
+                (None, Some(family)) => train_grid(family, quick, 4),
+                (None, None) => return Err(format!("unknown grid '{other}'")),
             },
         };
         Ok(grid)
@@ -384,6 +412,8 @@ mod tests {
             r#"{"grid":"fig5","quick":true,"protocols":["static"]}"#,
             r#"{"grid":"fig7","quick":true}"#,
             r#"{"grid":"dynamics:churn-storm","quick":true}"#,
+            r#"{"grid":"train:calm","quick":true}"#,
+            r#"{"grid":"train:jammed","quick":true}"#,
         ] {
             assert_ne!(
                 spec(other).unwrap().hash().unwrap(),
@@ -407,6 +437,10 @@ mod tests {
         assert_eq!(city.trials().unwrap(), 4);
         let dynamics = spec(r#"{"grid":"dynamics:churn-storm"}"#).unwrap();
         assert_eq!(dynamics.resolved_seed().unwrap(), 11);
+        // `train:*` mirrors `exp_train`: seed 42, one trial.
+        let train = spec(r#"{"grid":"train:calm"}"#).unwrap();
+        assert_eq!(train.resolved_seed().unwrap(), 42);
+        assert_eq!(train.trials().unwrap(), 1);
     }
 
     #[test]
@@ -417,6 +451,12 @@ mod tests {
         assert!(spec(r#"{"grid":"dynamics:warp"}"#)
             .unwrap_err()
             .contains("unknown dynamics preset"));
+        assert!(spec(r#"{"grid":"train:volcanic"}"#)
+            .unwrap_err()
+            .contains("unknown training family"));
+        assert!(spec(r#"{"grid":"train:calm","protocols":["static"]}"#)
+            .unwrap_err()
+            .contains("no protocol axis"));
         assert!(spec(r#"{"grid":"fig5","protocols":["crystal"]}"#)
             .unwrap_err()
             .contains("not supported"));
@@ -443,6 +483,8 @@ mod tests {
             "fig7",
             "topology-size",
             "dynamics:churn-storm",
+            "train:calm",
+            "train:roaming-jammer",
             "city",
         ] {
             let s = ScenarioSpec::quick(grid);

@@ -3,11 +3,13 @@
 //! The scoping table is the policy heart of the tool:
 //!
 //! * **D-rules** run on the simulation/engine/bench crates — the code whose
-//!   byte-for-byte determinism the equivalence suites pin — and on the
+//!   byte-for-byte determinism the equivalence suites pin — on the
 //!   `dimmerd` daemon, whose served reports must be byte-identical to
-//!   offline runs. The RL/neural/trace crates are deliberately out of
-//!   D-scope for now (training is allowed to read nothing ambient either,
-//!   but they never run inside a pinned trial).
+//!   offline runs, and on `rl`, whose training farm promises
+//!   byte-identical curves and weights for any environment count
+//!   (`tests/tests/training_farm.rs`). The neural/trace crates are
+//!   deliberately out of D-scope for now (they read nothing ambient
+//!   either, but they never run inside a pinned trial).
 //! * **P-rules** run on every library crate (including `dimmer-lint`
 //!   itself — the tool holds itself to its own hygiene), but not on
 //!   `src/bin/` CLI entry points, which may terminate on bad input.
@@ -30,6 +32,7 @@ pub const D_CRATES: &[&str] = &[
     "core",
     "lwb",
     "baselines",
+    "rl",
     "bench",
     "dimmerd",
 ];
@@ -185,6 +188,8 @@ mod tests {
             "crates/baselines/src/registry.rs",
             "crates/bench/src/harness.rs",
             "crates/dimmerd/src/service.rs",
+            "crates/rl/src/dqn.rs",
+            "crates/rl/src/farm.rs",
         ] {
             let s = case(p).expect("scanned");
             assert!(s.determinism && s.panic_hygiene, "{p}");
@@ -192,7 +197,6 @@ mod tests {
         // Library-only crates: P without D.
         for p in [
             "crates/neural/src/mlp.rs",
-            "crates/rl/src/dqn.rs",
             "crates/traces/src/dataset.rs",
             "crates/lint/src/rules.rs",
         ] {

@@ -195,9 +195,31 @@ impl DqnTrainer {
     /// Records a transition and performs one training update (if the warm-up
     /// threshold has been reached). Returns the mean TD loss of the batch, or
     /// `None` while still warming up.
+    ///
+    /// Equivalent to [`observe_at`](Self::observe_at) with the trainer's own
+    /// step count plus one — the single-environment special case.
     pub fn observe(&mut self, transition: Transition) -> Option<f32> {
+        self.observe_at(transition, self.steps + 1)
+    }
+
+    /// Records a transition under an externally driven **global transition
+    /// counter** and performs one training update (if the warm-up threshold
+    /// has been reached). Returns the mean TD loss of the batch, or `None`
+    /// while still warming up.
+    ///
+    /// The epsilon schedule and the target-network synchronization are both
+    /// clocked by `global_transitions` — the 1-based count of transitions
+    /// observed so far across *every* environment feeding this trainer. A
+    /// vectorized trainer (the farm) passes its own counter so the schedules
+    /// follow the global transition order no matter how transitions are
+    /// batched across environments; counting per trainer instead would skew
+    /// both schedules under vectorized batching.
+    ///
+    /// Counters must be fed in ascending order; [`steps`](Self::steps)
+    /// reports the last counter value seen.
+    pub fn observe_at(&mut self, transition: Transition, global_transitions: usize) -> Option<f32> {
         self.replay.push(transition);
-        self.steps += 1;
+        self.steps = global_transitions;
         if self.steps.is_multiple_of(self.config.target_sync_interval) {
             self.target = self.online.clone();
         }
@@ -416,6 +438,75 @@ mod tests {
     #[should_panic(expected = "state and action spaces")]
     fn zero_sized_spaces_are_rejected() {
         DqnTrainer::new(0, 2, DqnConfig::quick(), 0);
+    }
+
+    /// A deterministic stream of toy transitions for the counter tests.
+    fn transition_stream(n: usize) -> Vec<Transition> {
+        (0..n)
+            .map(|i| Transition {
+                state: vec![(i % 7) as f32 / 7.0],
+                action: i % 2,
+                reward: if i % 3 == 0 { 1.0 } else { 0.0 },
+                next_state: vec![((i + 1) % 7) as f32 / 7.0],
+                done: i % 5 == 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observe_is_the_sequential_case_of_observe_at() {
+        // Single-env regression: `observe` must stay bit-identical to
+        // driving `observe_at` with a sequential 1-based counter.
+        let cfg = DqnConfig {
+            warmup_transitions: 16,
+            target_sync_interval: 32,
+            epsilon_decay_steps: 100,
+            ..DqnConfig::quick()
+        };
+        let mut a = DqnTrainer::new(1, 2, cfg.clone(), 11);
+        let mut b = DqnTrainer::new(1, 2, cfg, 11);
+        for (i, t) in transition_stream(200).into_iter().enumerate() {
+            let la = a.observe(t.clone());
+            let lb = b.observe_at(t, i + 1);
+            assert_eq!(la, lb, "loss diverged at step {i}");
+        }
+        assert_eq!(a.steps(), b.steps());
+        assert_eq!(a.epsilon(), b.epsilon());
+        assert_eq!(a.policy().forward(&[0.5]), b.policy().forward(&[0.5]));
+    }
+
+    #[test]
+    fn global_counter_schedule_is_independent_of_env_attribution() {
+        // Vectorized regression: the same global transition stream fed
+        // through one shared counter produces the same epsilon / target-sync
+        // schedule regardless of which environment each transition came
+        // from (the counter is global, not per-trainer-per-env).
+        let cfg = DqnConfig {
+            warmup_transitions: 16,
+            target_sync_interval: 32,
+            epsilon_decay_steps: 100,
+            ..DqnConfig::quick()
+        };
+        let stream = transition_stream(128);
+        // "Two envs, interleaved": attribution alternates, but the farm
+        // feeds one global counter.
+        let mut farm = DqnTrainer::new(1, 2, cfg.clone(), 5);
+        let mut global = 0usize;
+        for t in &stream {
+            global += 1;
+            farm.observe_at(t.clone(), global);
+        }
+        // Reference: the plain single-env path over the identical stream.
+        let mut single = DqnTrainer::new(1, 2, cfg, 5);
+        for t in &stream {
+            single.observe(t.clone());
+        }
+        assert_eq!(farm.steps(), single.steps());
+        assert_eq!(farm.epsilon(), single.epsilon());
+        assert_eq!(
+            farm.policy().forward(&[0.25]),
+            single.policy().forward(&[0.25])
+        );
     }
 
     #[test]

@@ -252,5 +252,32 @@ mod tests {
             prop_assert!(arm < arms);
             prop_assert!(p > 0.0 && p <= 1.0);
         }
+
+        // The invariant the zoo's meta-controller leans on: after ANY
+        // reward sequence in [0, 1] — importance-weighted through the
+        // arm's own selection probability, as in real operation — the
+        // distribution stays normalized and every arm keeps at least the
+        // γ/K exploration floor, so no specialist is ever starved.
+        #[test]
+        fn prop_any_reward_sequence_keeps_the_distribution_normalized_and_floored(
+            arms in 1usize..6,
+            gamma in 0.01f64..=1.0,
+            rewards in proptest::collection::vec(0.0f64..=1.0, 0..120),
+            seed in 0u64..256,
+        ) {
+            let mut b = Exp3::new(arms, gamma);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let floor = gamma / arms as f64;
+            for reward in rewards {
+                let (arm, p) = b.select_arm(&mut rng);
+                b.update(arm, reward, p);
+                let probs = b.probabilities();
+                prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                for p in probs {
+                    prop_assert!(p.is_finite() && p > 0.0, "arm probability must stay positive");
+                    prop_assert!(p >= floor - 1e-12, "probability {p} fell below the γ/K floor {floor}");
+                }
+            }
+        }
     }
 }

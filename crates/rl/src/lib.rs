@@ -38,9 +38,11 @@
 pub mod dqn;
 pub mod env;
 pub mod exp3;
+pub mod farm;
 pub mod replay;
 
 pub use dqn::{DqnConfig, DqnTrainer};
 pub use env::{Environment, Step};
 pub use exp3::Exp3;
+pub use farm::{train_farm, CurvePoint, FarmConfig, FarmRun};
 pub use replay::{ReplayBuffer, Transition};

@@ -173,5 +173,52 @@ mod tests {
                 prop_assert!((s.reward as usize) < pushes);
             }
         }
+
+        // The farm feeds one shared buffer from many environments; whatever
+        // interleaving the rollout produces, the buffer must stay
+        // capacity-correct (exactly the most recent `capacity` pushes
+        // survive, FIFO eviction) ...
+        #[test]
+        fn prop_interleaved_env_pushes_stay_capacity_correct(
+            capacity in 1usize..48,
+            order in proptest::collection::vec(0usize..4, 0..150),
+        ) {
+            // `order[i]` names the environment that produced push `i`; the
+            // transition id (stashed in `reward`) is the global push index.
+            let mut buf = ReplayBuffer::new(capacity);
+            for (i, _env) in order.iter().enumerate() {
+                buf.push(t(i as f32));
+            }
+            prop_assert_eq!(buf.len(), order.len().min(capacity));
+            let mut ids: Vec<usize> = buf.entries.iter().map(|e| e.reward as usize).collect();
+            ids.sort_unstable();
+            let expected: Vec<usize> =
+                (order.len().saturating_sub(capacity)..order.len()).collect();
+            prop_assert_eq!(ids, expected, "ring must keep exactly the newest pushes");
+        }
+
+        // ... and deterministic: replaying the same interleaving and
+        // sampling with the same seed reproduces the identical batch.
+        #[test]
+        fn prop_push_sample_is_deterministic_per_seed(
+            capacity in 1usize..48,
+            order in proptest::collection::vec(0usize..4, 1..150),
+            seed in 0u64..512,
+            samples in 1usize..32,
+        ) {
+            let run = || {
+                let mut buf = ReplayBuffer::new(capacity);
+                for (i, env) in order.iter().enumerate() {
+                    // Make the payload depend on the producing env too, so
+                    // a hypothetical env-dependent code path would show up.
+                    buf.push(t((i * 4 + env) as f32));
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                let batch: Vec<Transition> =
+                    buf.sample(samples, &mut rng).into_iter().cloned().collect();
+                batch
+            };
+            prop_assert_eq!(run(), run());
+        }
     }
 }

@@ -261,7 +261,14 @@ fn registry_round_trip_constructs_and_runs_every_protocol() {
     let names = registry.names();
     assert_eq!(
         names,
-        vec!["dimmer-dqn", "dimmer-rule", "pid", "static", "crystal"]
+        vec![
+            "dimmer-dqn",
+            "dimmer-rule",
+            "pid",
+            "static",
+            "crystal",
+            "dimmer-zoo"
+        ]
     );
     for name in names {
         let builder = SimulationBuilder::new(&topo)
@@ -283,6 +290,66 @@ fn registry_round_trip_constructs_and_runs_every_protocol() {
             assert!(r.energy_joules >= 0.0, "{name}");
             assert!((1..=8).contains(&r.ntx), "{name}: ntx {}", r.ntx);
         }
+    }
+}
+
+#[test]
+fn single_arm_zoo_is_byte_identical_to_plain_dimmer_dqn() {
+    // The zoo's meta-machinery (EXP3 window accounting, lose-shift redraw,
+    // recovery shield) must only engage with two or more arms: a one-arm
+    // zoo is a transparent wrapper, so its report stream equals running the
+    // same policy through the plain `dimmer-dqn` protocol byte-for-byte.
+    let topo = Topology::kiel_testbed_18(1);
+    let interference = kiel_jamming(0.30);
+    let cfg = DimmerConfig::default();
+    let policy = dimmer_core::zoo::zoo_policy("jammed", &cfg);
+    for seed in SEEDS {
+        let mut dqn = SimulationBuilder::new(&topo)
+            .interference(&interference)
+            .policy(policy.clone())
+            .seed(seed)
+            .build_protocol("dimmer-dqn")
+            .unwrap();
+        let zoo = dimmer_core::ZooController::new(
+            vec![policy.clone()],
+            cfg.clone(),
+            8,
+            dimmer_core::zoo::ZOO_GAMMA,
+        );
+        let mut single = SimulationBuilder::new(&topo)
+            .interference(&interference)
+            .seed(seed)
+            .build(zoo);
+        // The 0.30-duty jammer guarantees lossy rounds, so a shield that
+        // wrongly engaged for one arm would diverge here.
+        assert_eq!(
+            dqn.run_rounds(ROUNDS),
+            single.run_rounds(ROUNDS),
+            "seed {seed}: single-arm zoo must shadow dimmer-dqn exactly"
+        );
+    }
+}
+
+#[test]
+fn zoo_runs_are_deterministic_under_stress() {
+    // Fixed-seed determinism for the full four-arm zoo in a regime where
+    // every meta-mechanism fires: losses arm the recovery shield, lossy
+    // windows trigger lose-shift redraws and EXP3 updates.
+    let topo = Topology::kiel_testbed_18(1);
+    let interference = kiel_jamming(0.35);
+    for seed in SEEDS {
+        let build = || {
+            SimulationBuilder::new(&topo)
+                .interference(&interference)
+                .seed(seed)
+                .build_protocol("dimmer-zoo")
+                .unwrap()
+        };
+        assert_eq!(
+            build().run_rounds(ROUNDS),
+            build().run_rounds(ROUNDS),
+            "seed {seed}: dimmer-zoo must be deterministic per seed"
+        );
     }
 }
 
