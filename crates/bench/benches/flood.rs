@@ -124,6 +124,32 @@ fn main() {
         scaling.push((label, nodes, id));
     }
 
+    // The threads-scaling rung: one grid10k world, a fixed 16-job batch
+    // fanned across T scoped workers via `FloodBatch::run_parallel`
+    // (byte-identical outcomes for every T — this curve measures pure
+    // wall-clock). Feeds the `"parallel"` key in the JSON report.
+    const PARALLEL_JOBS: usize = 16;
+    let mut parallel: Vec<(usize, String)> = Vec::new();
+    let parallel_nodes;
+    {
+        let world = topogen::sparse_grid(100, 100, 8.0, 1);
+        parallel_nodes = world.num_nodes();
+        let mut batch = FloodBatch::new(world, &NoInterference);
+        let cfg = GlossyConfig::with_uniform_ntx(3);
+        let jobs: Vec<FloodJob> = (0..PARALLEL_JOBS)
+            .map(|k| FloodJob {
+                initiator: NodeId(((k * 8191) % parallel_nodes) as u16),
+                start: SimTime::from_millis(k as u64 * 250),
+                seed: SimRng::derive_seed(1, &[k as u64]),
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let id = format!("flood/grid10k_sparse/parallel_t{threads}");
+            c.bench_function(&id, |b| b.iter(|| batch.run_parallel(&cfg, &jobs, threads)));
+            parallel.push((threads, id));
+        }
+    }
+
     // Full LWB round (control slot + 18 data slots) on the optimized path.
     {
         let lwb = LwbConfig::testbed_default();
@@ -166,6 +192,32 @@ fn main() {
         );
         println!("scaling {label:<24} {nodes:>6} nodes {mean:>14.1} ns/flood");
     }
+    json.push_str("  },\n  \"parallel\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"label\": \"grid10k\",\n    \"nodes\": {parallel_nodes},\n    \"jobs\": {PARALLEL_JOBS},\n    \"threads\": {{"
+    );
+    let t1_mean = c.mean_ns(&parallel[0].1).expect("parallel t1 bench ran");
+    let mut t4_speedup = 0.0f64;
+    for (i, (threads, id)) in parallel.iter().enumerate() {
+        let mean = c.mean_ns(id).expect("parallel bench ran");
+        let floods_per_sec = PARALLEL_JOBS as f64 * 1e9 / mean;
+        if *threads == 4 {
+            t4_speedup = t1_mean / mean;
+        }
+        let comma = if i + 1 < parallel.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      \"{threads}\": {{\"mean_ns\": {mean:.1}, \"floods_per_sec\": {floods_per_sec:.1}}}{comma}"
+        );
+        println!(
+            "parallel grid10k t={threads:<2} {mean:>14.1} ns/batch {floods_per_sec:>10.1} floods/s"
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    }},\n    \"speedup_at_4_threads\": {t4_speedup:.2}"
+    );
     json.push_str("  },\n  \"speedups\": {\n");
     let mut headline = 0.0f64;
     for (i, (label, opt_id, ref_id)) in pairs.iter().enumerate() {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p dimmer-bench --bin exp_sweep -- \
-//!     --preset fig5-seeds|topology-size \
+//!     --preset fig5-seeds|topology-size|city|grid10k \
 //!     [--protocols a,b,c] [--quick] \
 //!     [--trials N] [--threads N] [--seed S] [--json PATH]
 //! ```
@@ -21,9 +21,17 @@
 //!   (city-block, campus, warehouse, 2500-node grid): the CSR-only
 //!   compiled topologies no dense sweep can represent. `--protocols` does
 //!   not apply (the cells compare worlds, not protocols).
+//! * `grid10k` — one 10 000-node sparse grid cell, the scale rung of the
+//!   threads-scaling bench curve. `--protocols` does not apply.
+//!
+//! For the batched presets (`city`, `grid10k`) the `--threads` flag also
+//! fans each trial's floods across that many scoped workers
+//! (`FloodBatch::run_parallel`); reports stay byte-identical for every
+//! thread count, so CI `cmp`s `--threads 1` against `--threads 4`.
 
 use dimmer_bench::experiments::{
-    city_scale_grid, fig5_seed_sweep_grid, protocol_list, topology_size_grid, TESTBED_PROTOCOLS,
+    city_scale_grid_with_threads, fig5_seed_sweep_grid, grid10k_scale_grid, protocol_list,
+    topology_size_grid, TESTBED_PROTOCOLS,
 };
 use dimmer_bench::harness::HarnessCli;
 use dimmer_bench::scenarios::dimmer_policy;
@@ -53,11 +61,15 @@ fn main() {
         }
         "city" => {
             let floods = if cli.quick { 8 } else { 24 };
-            (city_scale_grid(floods), 4)
+            (city_scale_grid_with_threads(floods, cli.threads), 4)
+        }
+        "grid10k" => {
+            let floods = if cli.quick { 6 } else { 32 };
+            (grid10k_scale_grid(floods, cli.threads), 2)
         }
         other => {
             eprintln!(
-                "error: unknown --preset '{other}' (expected fig5-seeds, topology-size or city)"
+                "error: unknown --preset '{other}' (expected fig5-seeds, topology-size, city or grid10k)"
             );
             std::process::exit(2);
         }

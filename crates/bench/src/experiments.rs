@@ -639,6 +639,32 @@ pub fn city_scale_grid(floods: usize) -> ScenarioGrid {
     city_scale_grid_from_worlds(floods, city_worlds().into_iter().map(Arc::new).collect())
 }
 
+/// [`city_scale_grid`] with intra-cell parallel flood batching: each trial
+/// fans its `floods` jobs across `batch_threads` scoped workers via
+/// [`dimmer_glossy::FloodBatch::run_parallel`]. Reports are byte-identical
+/// to the serial grid for every `batch_threads` (parallel batching is pure
+/// prefetch), so this only changes wall-clock — which is exactly what the
+/// CI scale-smoke `cmp` pins.
+pub fn city_scale_grid_with_threads(floods: usize, batch_threads: usize) -> ScenarioGrid {
+    city_scale_grid_from_worlds_threaded(
+        floods,
+        city_worlds().into_iter().map(Arc::new).collect(),
+        batch_threads,
+    )
+}
+
+/// Preset: one 10 000-node sparse grid cell with intra-cell parallel
+/// batching (`exp_sweep --preset grid10k`) — the scale rung the
+/// threads-scaling bench curve (`BENCH_flood.json` `"parallel"`) measures,
+/// exposed as a sweep so CI can `cmp` `--threads 1` vs `--threads 4`
+/// reports byte-for-byte.
+pub fn grid10k_scale_grid(floods: usize, batch_threads: usize) -> ScenarioGrid {
+    let world = CityWorld::build("grid_100x100", || {
+        dimmer_sim::topogen::sparse_grid(100, 100, 8.0, 1)
+    });
+    city_scale_grid_from_worlds_threaded(floods, vec![Arc::new(world)], batch_threads)
+}
+
 /// A prebuilt city-scale world: the compiled CSR topology, its
 /// centroid-parked jammer model and the pristine compiled interference
 /// bank, ready to stamp out per-trial [`dimmer_glossy::FloodBatch`]es
@@ -722,6 +748,19 @@ pub fn city_worlds() -> Vec<CityWorld> {
 /// byte-identical to [`city_scale_grid`] (pinned by the scheduler
 /// extraction goldens).
 pub fn city_scale_grid_from_worlds(floods: usize, worlds: Vec<Arc<CityWorld>>) -> ScenarioGrid {
+    city_scale_grid_from_worlds_threaded(floods, worlds, 1)
+}
+
+/// [`city_scale_grid_from_worlds`] with intra-cell parallel batching:
+/// every trial runs its flood jobs through
+/// [`dimmer_glossy::FloodBatch::run_parallel`] across `batch_threads`
+/// scoped workers (1 = the serial path). Byte-identical reports for every
+/// thread count.
+pub fn city_scale_grid_from_worlds_threaded(
+    floods: usize,
+    worlds: Vec<Arc<CityWorld>>,
+    batch_threads: usize,
+) -> ScenarioGrid {
     use dimmer_glossy::{FloodJob, GlossyConfig};
     use dimmer_sim::{SimDuration, SimTime};
 
@@ -752,7 +791,7 @@ pub fn city_scale_grid_from_worlds(floods: usize, worlds: Vec<Arc<CityWorld>>) -
                         seed: SimRng::derive_seed(seed, &[k as u64]),
                     })
                     .collect();
-                let outcomes = batch.run(&cfg, &jobs);
+                let outcomes = batch.run_parallel(&cfg, &jobs, batch_threads);
                 let reliability =
                     outcomes.iter().map(|o| o.reliability()).sum::<f64>() / outcomes.len() as f64;
                 let radio_on_ms = outcomes

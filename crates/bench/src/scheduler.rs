@@ -25,10 +25,7 @@
 //!    metrics cell by cell in grid order, producing reports that are
 //!    byte-identical for any worker count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-use dimmer_sim::SimRng;
+use dimmer_sim::{workqueue, SimRng};
 
 use crate::harness::{GridCell, RunOptions, TrialMetrics};
 use crate::report::{Aggregate, CellReport, GridReport};
@@ -81,6 +78,11 @@ pub fn plan_trials(cells: usize, trials: usize, base_seed: u64) -> Vec<TrialPlan
 /// result lands in its pre-assigned slot, keeping the output order — and
 /// therefore anything assembled from it — independent of scheduling.
 ///
+/// Since PR 10 this is a thin wrapper over the shared scoped worker pool
+/// in [`dimmer_sim::workqueue`], which `FloodBatch::run_parallel` also
+/// runs on; the golden digests in `tests/tests/scheduler_extraction.rs`
+/// pin that the extraction changed nothing.
+///
 /// # Panics
 ///
 /// Panics if a job closure panics (the poisoned result store propagates).
@@ -89,35 +91,7 @@ where
     R: Send,
     F: Fn(usize) -> R + Send + Sync,
 {
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(jobs, || None);
-    let results = Mutex::new(slots);
-    let cursor = AtomicUsize::new(0);
-    let workers = threads.max(1).min(jobs.max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                let result = run(i);
-                // lint: allow(P001) -- poisoned only if a job panicked; propagating is correct
-                results.lock().expect("result store poisoned")[i] = Some(result);
-            });
-        }
-    });
-
-    // lint: allow(P001) -- poisoned only if a job panicked; propagating is correct
-    let results = results.into_inner().expect("result store poisoned");
-    results
-        .into_iter()
-        .map(|slot| {
-            // lint: allow(P001) -- the scope joins every worker, so all slots are filled
-            slot.expect("every job slot is filled after the scope joins")
-        })
-        .collect()
+    workqueue::run_indexed_jobs(jobs, threads, run)
 }
 
 /// Assembles the deterministic [`GridReport`] from per-trial metrics in

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! cargo run --release -p dimmerd --bin dimmerd -- \
-//!     [--addr HOST:PORT] [--queue N] [--threads N] [--memo-bytes N]
+//!     [--addr HOST:PORT] [--queue N] [--threads N] [--workers N] [--memo-bytes N]
 //! ```
 //!
-//! Binds the TCP listener, spawns the executor, prints
+//! Binds the TCP listener, spawns the executor worker pool (`--workers N`,
+//! default 1 — the count never changes report bytes), prints
 //! `dimmerd listening on ADDR` (the readiness line scripts wait for) and
 //! serves until a `shutdown` request has drained the queue.
 
@@ -47,13 +48,17 @@ fn main() {
                 config.threads = number(i).max(1);
                 i += 2;
             }
+            "--workers" => {
+                config.workers = number(i).max(1);
+                i += 2;
+            }
             "--memo-bytes" => {
                 config.memo_budget_bytes = number(i);
                 i += 2;
             }
             other => {
                 eprintln!(
-                    "error: unknown flag '{other}' (flags: --addr, --queue, --threads, --memo-bytes)"
+                    "error: unknown flag '{other}' (flags: --addr, --queue, --threads, --workers, --memo-bytes)"
                 );
                 std::process::exit(2);
             }
@@ -67,16 +72,18 @@ fn main() {
     let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
 
     let daemon = Daemon::new(config);
-    let executor = daemon.spawn_executor();
+    let executors = daemon.spawn_executors(config.workers);
     println!("dimmerd listening on {bound}");
 
     if let Err(e) = server::serve(&daemon, listener) {
         eprintln!("error: server failed: {e}");
         std::process::exit(1);
     }
-    if executor.join().is_err() {
-        eprintln!("error: executor panicked");
-        std::process::exit(1);
+    for executor in executors {
+        if executor.join().is_err() {
+            eprintln!("error: executor panicked");
+            std::process::exit(1);
+        }
     }
     println!("dimmerd drained, exiting");
 }

@@ -1,14 +1,21 @@
-//! The daemon core: a bounded job queue, one executor thread, and the
-//! warm/memo caches — everything except the TCP plumbing.
+//! The daemon core: a bounded job queue, a configurable executor worker
+//! pool, and the warm/memo caches — everything except the TCP plumbing.
 //!
 //! Concurrency model: connection handlers call [`Daemon::handle_request`]
 //! under a single state mutex and return quickly (submissions only
-//! enqueue; memo hits answer instantly). One **executor thread** drains
-//! the queue in FIFO order and runs each scenario through the shared
-//! `dimmer-bench` scheduler. A full queue rejects new work with an
+//! enqueue; memo hits answer instantly). A pool of **executor threads**
+//! ([`Daemon::spawn_executors`], `--workers N`) pops the queue in FIFO
+//! order and runs each scenario through the shared `dimmer-bench`
+//! scheduler. Because every job's report is a pure function of
+//! `(scenario_hash, seed)` — the scheduler seeds trials statelessly and
+//! assembles reports in grid order — the worker count never changes a
+//! byte of any report; the worst concurrency artifact is two workers
+//! computing the same memo entry, and the second insert overwrites the
+//! first with identical bytes. A full queue rejects new work with an
 //! explicit `busy` error — bounded memory, visible backpressure — and
-//! `shutdown` stops intake, lets the executor drain what was accepted,
-//! then terminates it.
+//! `shutdown` stops intake, lets the pool drain what was accepted, then
+//! terminates it: a worker only flips the daemon to *stopped* once the
+//! queue is empty **and** no sibling still has a job in flight.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -29,6 +36,9 @@ pub struct DaemonConfig {
     /// Worker threads the scheduler fans each grid out to (does not
     /// affect report bytes).
     pub threads: usize,
+    /// Executor threads draining the job queue concurrently (does not
+    /// affect report bytes either — see the module docs).
+    pub workers: usize,
     /// Byte budget of the result memo cache.
     pub memo_budget_bytes: usize,
 }
@@ -38,6 +48,7 @@ impl Default for DaemonConfig {
         DaemonConfig {
             queue_limit: 32,
             threads: 2,
+            workers: 1,
             memo_budget_bytes: 64 * 1024 * 1024,
         }
     }
@@ -68,12 +79,15 @@ struct State {
     memo: MemoCache,
     worlds: WorldCache,
     counters: Counters,
+    /// Jobs currently executing on some worker (popped but not published).
+    running: usize,
     draining: bool,
     stopped: bool,
 }
 
 /// The shared daemon service. Cloneable handle (`Arc` inside); spawn the
-/// executor once with [`Daemon::spawn_executor`].
+/// executor pool once with [`Daemon::spawn_executors`] (or a single
+/// worker with [`Daemon::spawn_executor`]).
 #[derive(Debug, Clone)]
 pub struct Daemon {
     inner: Arc<Inner>,
@@ -99,6 +113,7 @@ impl Daemon {
                     memo: MemoCache::new(config.memo_budget_bytes),
                     worlds: WorldCache::new(),
                     counters: Counters::default(),
+                    running: 0,
                     draining: false,
                     stopped: false,
                 }),
@@ -116,10 +131,20 @@ impl Daemon {
         }
     }
 
-    /// Starts the executor thread draining the queue; returns its handle.
+    /// Starts one executor thread draining the queue; returns its handle.
     pub fn spawn_executor(&self) -> thread::JoinHandle<()> {
         let daemon = self.clone();
         thread::spawn(move || daemon.run_executor())
+    }
+
+    /// Starts a pool of `workers.max(1)` executor threads sharing the
+    /// bounded queue; returns their handles (join all after shutdown).
+    ///
+    /// The worker count never changes report bytes — see the module docs
+    /// for why — it only changes how many queued scenarios execute
+    /// concurrently.
+    pub fn spawn_executors(&self, workers: usize) -> Vec<thread::JoinHandle<()>> {
+        (0..workers.max(1)).map(|_| self.spawn_executor()).collect()
     }
 
     fn run_executor(&self) {
@@ -131,14 +156,23 @@ impl Daemon {
                         match state.jobs.get(&job).cloned() {
                             Some(JobState::Queued(spec)) => {
                                 state.jobs.insert(job, JobState::Running);
+                                state.running += 1;
                                 break (job, spec);
                             }
                             _ => continue,
                         }
                     }
                     if state.draining {
-                        state.stopped = true;
+                        // Drained only once no sibling worker still has a
+                        // job in flight; an earlier-exiting worker leaves
+                        // `stopped` for the last one to flip.
+                        if state.running == 0 {
+                            state.stopped = true;
+                        }
                         self.inner.job_done.notify_all();
+                        // Wake sibling workers parked on the condvar so
+                        // they can observe `draining` and exit too.
+                        self.inner.work_ready.notify_all();
                         return;
                     }
                     state = match self.inner.work_ready.wait(state) {
@@ -165,6 +199,7 @@ impl Daemon {
                 state.counters.failed += 1;
             }
         }
+        state.running -= 1;
         self.inner.job_done.notify_all();
     }
 
@@ -348,6 +383,7 @@ mod tests {
         Daemon::new(DaemonConfig {
             queue_limit,
             threads: 2,
+            workers: 1,
             memo_budget_bytes: 16 * 1024 * 1024,
         })
     }
@@ -413,6 +449,30 @@ mod tests {
             result.get("error").and_then(Json::as_str),
             Some("not-ready")
         );
+    }
+
+    #[test]
+    fn worker_pool_drains_the_queue_and_stops_only_after_the_last_job() {
+        let d = daemon(8);
+        let executors = d.spawn_executors(4);
+        assert_eq!(executors.len(), 4);
+        for seed in 0..6u64 {
+            let reply = submit_line(
+                &d,
+                &format!(r#"{{"cmd":"submit","spec":{{"grid":"table1","seed":{seed}}}}}"#),
+            );
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+        }
+        let (_, is_shutdown) = d.handle_line(r#"{"cmd":"shutdown"}"#);
+        assert!(is_shutdown);
+        for executor in executors {
+            executor.join().unwrap();
+        }
+        assert!(d.is_stopped(), "last worker out flips stopped");
+        let stats = submit_line(&d, r#"{"cmd":"stats"}"#);
+        assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(6));
+        assert_eq!(stats.get("failed").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("queue_len").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::config::GlossyConfig;
 use crate::flood::{run_flood, FloodWorkspace};
 use crate::outcome::FloodOutcome;
+use dimmer_sim::workqueue::run_indexed_jobs_with;
 use dimmer_sim::{
     CompiledTopology, InterferenceModel, NodeId, SimRng, SimTime, SlotInterference, WorldEvent,
 };
@@ -141,7 +142,13 @@ impl<'a> FloodBatch<'a> {
             self.compiled.num_nodes(),
             "alive mask must cover every node"
         );
-        self.alive = Some(alive.to_vec());
+        // Reuse the existing buffer when the length matches instead of
+        // allocating a fresh Vec per call (dynamic-world sweeps flip the
+        // mask between every flood).
+        match &mut self.alive {
+            Some(buf) if buf.len() == alive.len() => buf.copy_from_slice(alive),
+            slot => *slot = Some(alive.to_vec()),
+        }
     }
 
     /// Removes the alive mask (every node may participate again).
@@ -192,6 +199,80 @@ impl<'a> FloodBatch<'a> {
         }
         // lint: hot-end
         outcomes
+    }
+
+    /// Runs every job across `threads` scoped workers, returning outcomes
+    /// **in job order, byte-identical to [`run`](Self::run) for every
+    /// thread count** — parallelism here is pure prefetch.
+    ///
+    /// The determinism argument, pinned by the equivalence suite and a
+    /// proptest in `tests/tests/parallel_batching.rs`:
+    ///
+    /// * the [`CompiledTopology`] and alive mask are read-only during the
+    ///   batch and shared by `&`;
+    /// * each worker owns a **private** [`FloodWorkspace`] and a
+    ///   [`SlotInterference::box_clone`] of the pristine bank, so no flood
+    ///   observes another flood's scratch mutations (the bank contract —
+    ///   `busy_for_slot` is a pure function of the slot arguments — makes a
+    ///   clone indistinguishable from the serial path's reused evaluator);
+    /// * every job seeds its own [`SimRng`] stream from `job.seed` and
+    ///   writes its [`FloodOutcome`] into a pre-assigned slot of the shared
+    ///   work queue ([`dimmer_sim::workqueue`]), so neither the OS schedule
+    ///   nor the worker count can leak into the results.
+    ///
+    /// `threads <= 1` (or a single job) falls back to the serial
+    /// [`run`](Self::run), reusing the batch's own workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's initiator is out of range or dead. Unlike the
+    /// serial path the whole job list is validated **before** any flood
+    /// runs, so a bad job never wastes a partial parallel sweep.
+    pub fn run_parallel(
+        &mut self,
+        cfg: &GlossyConfig,
+        jobs: &[FloodJob],
+        threads: usize,
+    ) -> Vec<FloodOutcome> {
+        if threads <= 1 || jobs.len() <= 1 {
+            return self.run(cfg, jobs);
+        }
+        let n = self.compiled.num_nodes();
+        for job in jobs {
+            assert!(job.initiator.index() < n, "initiator out of range");
+            assert!(
+                self.alive.as_ref().is_none_or(|a| a[job.initiator.index()]),
+                "the initiator must be alive"
+            );
+        }
+        let compiled = &self.compiled;
+        let interference = self.interference;
+        let alive = self.alive.as_deref();
+        let bank = self.slot_interference.as_ref();
+        run_indexed_jobs_with(
+            jobs.len(),
+            threads,
+            // Once per worker: a private workspace and a pristine bank clone.
+            || (FloodWorkspace::for_nodes(n), bank.map(|b| b.box_clone())),
+            |(workspace, bank), i| {
+                let job = &jobs[i];
+                // lint: hot-begin
+                let mut rng = SimRng::seed_from(job.seed);
+                run_flood(
+                    compiled,
+                    interference,
+                    bank,
+                    alive,
+                    workspace,
+                    cfg,
+                    job.initiator,
+                    job.start,
+                    &mut rng,
+                    None,
+                )
+                // lint: hot-end
+            },
+        )
     }
 }
 
@@ -330,6 +411,90 @@ mod tests {
         let out = batch.run_one(&cfg, &job);
         assert_eq!(out.per_node().len(), 10);
         assert!(out.per_node()[9].participated);
+    }
+
+    #[test]
+    fn run_parallel_is_byte_identical_to_run_for_every_thread_count() {
+        let jam = PeriodicJammer::with_duty_cycle(Position::new(20.0, 20.0), 0.3);
+        let world = topogen::sparse_grid(8, 8, 8.0, 3);
+        let cfg = GlossyConfig::default();
+        let js: Vec<FloodJob> = (0..9u16)
+            .map(|k| FloodJob {
+                initiator: NodeId((k * 13) % 64),
+                start: SimTime::from_millis(k as u64 * 37),
+                seed: 1000 + k as u64,
+            })
+            .collect();
+        let serial = FloodBatch::new(world.clone(), &jam).run(&cfg, &js);
+        for threads in [1, 2, 3, 4, 8] {
+            let parallel = FloodBatch::new(world.clone(), &jam).run_parallel(&cfg, &js, threads);
+            assert_eq!(serial, parallel, "threads={threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn run_parallel_respects_the_alive_mask_and_cloned_banks() {
+        let jam = PeriodicJammer::with_duty_cycle(Position::new(12.0, 12.0), 0.4);
+        let world = topogen::sparse_grid(5, 5, 8.0, 2);
+        let cfg = GlossyConfig::default();
+        let mut mask = vec![true; 25];
+        mask[7] = false;
+        mask[18] = false;
+        let js: Vec<FloodJob> = (0..6u16)
+            .map(|k| FloodJob {
+                initiator: NodeId((k * 5) % 25),
+                start: SimTime::from_millis(k as u64 * 29),
+                seed: 77 + k as u64,
+            })
+            .collect();
+        let mut serial = FloodBatch::new(world.clone(), &jam);
+        serial.set_alive(&mask);
+        let want = serial.run(&cfg, &js);
+        let mut par = FloodBatch::new(world, &jam);
+        par.set_alive(&mask);
+        let got = par.run_parallel(&cfg, &js, 4);
+        assert_eq!(want, got);
+        assert!(got.iter().all(|o| !o.per_node()[7].participated));
+    }
+
+    #[test]
+    #[should_panic(expected = "initiator must be alive")]
+    fn run_parallel_rejects_dead_initiators_before_running_anything() {
+        let world = topogen::sparse_grid(2, 2, 8.0, 1);
+        let mut batch = FloodBatch::new(world, &NoInterference);
+        batch.set_alive(&[true, false, true, true]);
+        let js = [
+            FloodJob {
+                initiator: NodeId(0),
+                start: SimTime::ZERO,
+                seed: 1,
+            },
+            FloodJob {
+                initiator: NodeId(1),
+                start: SimTime::ZERO,
+                seed: 2,
+            },
+        ];
+        batch.run_parallel(&GlossyConfig::default(), &js, 2);
+    }
+
+    #[test]
+    fn set_alive_reuses_the_buffer_when_lengths_match() {
+        let world = topogen::sparse_grid(2, 2, 8.0, 1);
+        let mut batch = FloodBatch::new(world, &NoInterference);
+        batch.set_alive(&[true, true, false, true]);
+        // Same length: the mask flips in place.
+        batch.set_alive(&[false, true, true, true]);
+        let out = batch.run_one(
+            &GlossyConfig::default(),
+            &FloodJob {
+                initiator: NodeId(1),
+                start: SimTime::ZERO,
+                seed: 5,
+            },
+        );
+        assert!(!out.per_node()[0].participated);
+        assert!(out.per_node()[2].participated);
     }
 
     #[test]

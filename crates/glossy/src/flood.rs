@@ -256,7 +256,13 @@ impl<'a> FloodSimulator<'a> {
             self.compiled.num_nodes(),
             "alive mask must cover every node"
         );
-        self.alive = Some(alive.to_vec());
+        // Reuse the existing buffer when the length matches instead of
+        // allocating a fresh Vec per call (dynamic-world sweeps flip the
+        // mask between every flood).
+        match &mut self.alive {
+            Some(buf) if buf.len() == alive.len() => buf.copy_from_slice(alive),
+            slot => *slot = Some(alive.to_vec()),
+        }
     }
 
     /// Removes the alive mask (back to the static world: everyone may

@@ -21,6 +21,13 @@
 //!   `ARCHITECTURE.md` (the daemon protocol is an external contract; an
 //!   undocumented command is unusable, a documented-but-removed one is a
 //!   broken promise).
+//! * **S005** — every headline speedup claim in `README.md` /
+//!   `ARCHITECTURE.md` (a `<headline_field>: <number>` phrase, e.g.
+//!   `` `flood_kernel_speedup: 1.87` ``) must match the value recorded in
+//!   the corresponding `BENCH_*.json` at the precision the doc states.
+//!   Prose numbers went stale once (the docs kept quoting a speedup band
+//!   from an earlier kernel); the recorded report is the single source of
+//!   truth.
 
 use crate::diag::Finding;
 use crate::json::{self, Json};
@@ -34,6 +41,7 @@ pub fn lint_drift(root: &Path) -> Vec<Finding> {
     check_registry_docs(root, &mut findings);
     check_bench_schemas(root, &mut findings);
     check_daemon_protocol_docs(root, &mut findings);
+    check_headline_claims(root, &mut findings);
     findings
 }
 
@@ -272,6 +280,96 @@ pub fn schema_problems(suite: &str, text: &str) -> Vec<String> {
     problems
 }
 
+/// The headline field each suite's report records (shared with S003).
+const HEADLINES: &[(&str, &str)] = &[
+    ("flood", "flood_kernel_speedup"),
+    ("world", "patch_speedup"),
+];
+
+/// S005: headline speedup claims in the docs match the recorded value.
+///
+/// A *claim* is the headline field name followed by a number —
+/// `flood_kernel_speedup: 1.87`, optionally wrapped in backticks or using
+/// `=` — anywhere in README.md or ARCHITECTURE.md. The claim must equal
+/// the recorded JSON value rounded to the precision the doc states, so
+/// `1.87` accepts a recorded `1.8704` but a doc still quoting `2.05`
+/// fails the moment the committed report moves.
+fn check_headline_claims(root: &Path, findings: &mut Vec<Finding>) {
+    for (suite, headline) in HEADLINES {
+        let file = format!("BENCH_{suite}.json");
+        let Ok(text) = std::fs::read_to_string(root.join(&file)) else {
+            continue; // no report, nothing to cross-check
+        };
+        let Ok(doc) = json::parse(&text) else {
+            continue; // S003 already reports unparseable reports
+        };
+        let Some(recorded) = doc.get(headline).and_then(Json::as_num) else {
+            continue; // S003 already reports the missing headline field
+        };
+        for name in ["README.md", "ARCHITECTURE.md"] {
+            let Ok(body) = std::fs::read_to_string(root.join(name)) else {
+                continue;
+            };
+            for (line, stated) in headline_claims(&body, headline) {
+                if !claim_matches(recorded, &stated) {
+                    findings.push(Finding {
+                        path: name.to_string(),
+                        line,
+                        col: 1,
+                        rule: "S005",
+                        message: format!(
+                            "doc claims `{headline}: {stated}` but {file} records {recorded}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Extracts `(line, stated_number)` for every headline claim in a doc: an
+/// occurrence of `field` followed (through optional backticks/spaces and a
+/// `:` or `=`) by a decimal number. Mentions without a number — e.g. prose
+/// explaining what the field *is* — are not claims.
+pub fn headline_claims(body: &str, field: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(field) {
+            let at = from + idx;
+            from = at + field.len();
+            let before = line[..at].chars().next_back();
+            if before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue; // embedded in a longer identifier
+            }
+            let rest = &line[at + field.len()..];
+            let rest = rest.trim_start_matches(['`', ' ']);
+            let Some(rest) = rest.strip_prefix([':', '=']) else {
+                continue;
+            };
+            let rest = rest.trim_start_matches(['`', ' ']);
+            let number: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            if !number.is_empty() && number.chars().any(|c| c.is_ascii_digit()) {
+                out.push((lineno as u32 + 1, number));
+            }
+        }
+    }
+    out
+}
+
+/// Whether the recorded value, rounded to the decimals the doc states,
+/// reproduces the stated number exactly.
+pub fn claim_matches(recorded: f64, stated: &str) -> bool {
+    let decimals = stated
+        .split_once('.')
+        .map(|(_, frac)| frac.len())
+        .unwrap_or(0);
+    format!("{recorded:.decimals$}") == stated
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +420,29 @@ mod tests {
         assert!(contains_word("protocols: static,dimmer-dqn", "static"));
         assert!(!contains_word("statics everywhere", "static"));
         assert!(!contains_word("dimmer-dqn2", "dimmer-dqn"));
+    }
+
+    #[test]
+    fn headline_claims_parses_only_numbered_mentions() {
+        let body = "\
+The kernel is `flood_kernel_speedup: 1.87` under jamming.\n\
+Reading the JSON: `flood_kernel_speedup` is the headline field.\n\
+Also stated as flood_kernel_speedup = 2.3 here.\n\
+But not_flood_kernel_speedup: 9.9 is a different identifier.\n";
+        let claims = headline_claims(body, "flood_kernel_speedup");
+        assert_eq!(
+            claims,
+            vec![(1, "1.87".to_string()), (3, "2.3".to_string())]
+        );
+    }
+
+    #[test]
+    fn claim_matching_uses_the_stated_precision() {
+        assert!(claim_matches(1.8704, "1.87"));
+        assert!(claim_matches(1.87, "1.9"));
+        assert!(claim_matches(2.0, "2"));
+        assert!(!claim_matches(2.05, "1.87"));
+        assert!(!claim_matches(1.87, "1.88"));
     }
 
     #[test]

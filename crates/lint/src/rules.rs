@@ -90,6 +90,11 @@ pub const RULES: &[Rule] = &[
         summary: "dimmerd protocol commands must appear in README.md and ARCHITECTURE.md",
     },
     Rule {
+        id: "S005",
+        name: "headline-claim-drift",
+        summary: "headline speedup claims in the docs must match the recorded BENCH_*.json value",
+    },
+    Rule {
         id: "L001",
         name: "malformed-directive",
         summary: "unparseable `// lint:` directive (unknown verb/rule, or allow missing a reason)",

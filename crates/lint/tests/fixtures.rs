@@ -117,4 +117,13 @@ fn s_fail_tree_drifts_in_every_family() {
     assert_eq!(s004.len(), 2, "{findings:?}");
     assert!(s004.iter().all(|f| f.message.contains("`drain`")));
     assert!(s004.iter().all(|f| f.path.ends_with("proto.rs")));
+
+    // S005: ARCHITECTURE.md claims `patch_speedup: 3.1` while
+    // BENCH_world.json records 2.6. (BENCH_flood.json has no usable
+    // headline — that is S003's finding, not a second S005.)
+    let s005 = rules_for("S005");
+    assert_eq!(s005.len(), 1, "{findings:?}");
+    assert_eq!(s005[0].path, "ARCHITECTURE.md");
+    assert!(s005[0].message.contains("patch_speedup"));
+    assert!(s005[0].message.contains("3.1"));
 }

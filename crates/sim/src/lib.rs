@@ -52,6 +52,7 @@ pub mod rng;
 pub mod time;
 pub mod topogen;
 pub mod topology;
+pub mod workqueue;
 pub mod world;
 
 pub use compiled::{CompiledLink, CompiledTopology, DENSE_NODE_LIMIT, QUALITY_BUCKETS};
@@ -64,4 +65,5 @@ pub use radio::{Channel, RadioAccounting, RadioState};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{NodeId, Position, Topology, TopologyKind};
+pub use workqueue::{run_indexed_jobs, run_indexed_jobs_with};
 pub use world::{ScenarioScript, World, WorldEvent, WorldUpdate};

@@ -13,9 +13,14 @@ use dimmerd::json::{self, Json};
 use dimmerd::{Daemon, DaemonConfig, ScenarioSpec, WorldCache};
 
 fn daemon() -> Daemon {
+    daemon_with_workers(1)
+}
+
+fn daemon_with_workers(workers: usize) -> Daemon {
     Daemon::new(DaemonConfig {
         queue_limit: 16,
         threads: 2,
+        workers,
         memo_budget_bytes: 64 * 1024 * 1024,
     })
 }
@@ -129,6 +134,70 @@ fn warm_world_city_report_matches_the_offline_grid_bytes() {
 
     ask(&d, r#"{"cmd":"shutdown"}"#);
     executor.join().unwrap();
+}
+
+#[test]
+fn four_worker_daemon_serves_the_single_worker_bytes_and_memo_hits() {
+    // The reference daemon: one executor, a spread of specs.
+    let single = daemon_with_workers(1);
+    let single_exec = single.spawn_executors(1);
+    let specs: Vec<String> = (1..=5)
+        .map(|seed| format!(r#"{{"cmd":"submit","spec":{{"grid":"table1","seed":{seed}}}}}"#))
+        .collect();
+    let mut reference = Vec::new();
+    for spec in &specs {
+        let (_, report) = submit_and_wait(&single, spec);
+        reference.push(report);
+    }
+
+    // The 4-worker pool executes the same specs concurrently; every
+    // report must be byte-identical to the single-worker daemon's.
+    let pool = daemon_with_workers(4);
+    let pool_execs = pool.spawn_executors(4);
+    let jobs: Vec<u64> = specs
+        .iter()
+        .map(|spec| {
+            let reply = ask(&pool, spec);
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+            reply.get("job").and_then(Json::as_u64).expect("job id")
+        })
+        .collect();
+    for (job, want) in jobs.iter().zip(&reference) {
+        pool.wait_for_job(*job);
+        let result = ask(&pool, &format!(r#"{{"cmd":"result","job":{job}}}"#));
+        let report = result.get("report").and_then(Json::as_str).unwrap();
+        assert_eq!(report, want, "job {job}: pool bytes drifted from 1-worker");
+    }
+
+    // Resubmitting the whole batch answers from the memo — same bytes,
+    // one hit per spec, nothing recomputed.
+    for (spec, want) in specs.iter().zip(&reference) {
+        let again = ask(&pool, spec);
+        assert_eq!(again.get("state").and_then(Json::as_str), Some("done"));
+        let job = again.get("job").and_then(Json::as_u64).unwrap();
+        let result = ask(&pool, &format!(r#"{{"cmd":"result","job":{job}}}"#));
+        assert_eq!(
+            result.get("report").and_then(Json::as_str),
+            Some(want.as_str())
+        );
+    }
+    let stats = ask(&pool, r#"{"cmd":"stats"}"#);
+    assert_eq!(
+        stats.get("memo_hits").and_then(Json::as_u64),
+        Some(5),
+        "each resubmission is one memo hit: {stats:?}"
+    );
+    assert_eq!(stats.get("completed").and_then(Json::as_u64), Some(10));
+
+    ask(&pool, r#"{"cmd":"shutdown"}"#);
+    for handle in pool_execs {
+        handle.join().unwrap();
+    }
+    assert!(pool.is_stopped());
+    ask(&single, r#"{"cmd":"shutdown"}"#);
+    for handle in single_exec {
+        handle.join().unwrap();
+    }
 }
 
 #[test]
